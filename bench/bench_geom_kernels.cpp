@@ -1,0 +1,109 @@
+// Microbenchmarks (google-benchmark) for the serial kernels underneath the
+// tessellation: robust predicates, quickhull, per-cell clipping, the grid
+// cell builder, and the FFT — the costs Table II's "Voronoi computation"
+// column is made of.
+#include <benchmark/benchmark.h>
+
+#include "geom/cell_builder.hpp"
+#include "geom/convex_hull.hpp"
+#include "geom/predicates.hpp"
+#include "hacc/fft.hpp"
+#include "util/rng.hpp"
+
+using namespace tess;
+using geom::Vec3;
+
+namespace {
+
+std::vector<Vec3> random_points(std::uint64_t seed, int n) {
+  util::Rng rng(seed);
+  std::vector<Vec3> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  return pts;
+}
+
+}  // namespace
+
+static void BM_Orient3D_Filtered(benchmark::State& state) {
+  const auto pts = random_points(1, 4000);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        geom::orient3d(pts[i % 1000], pts[(i + 1) % 4000], pts[(i + 2) % 4000],
+                       pts[(i + 3) % 4000]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Orient3D_Filtered);
+
+static void BM_Orient3D_ExactFallback(benchmark::State& state) {
+  // Exactly coplanar inputs force the expansion-arithmetic path every call.
+  const Vec3 a{0.1, 0.2, 0.3}, b{1.1, 0.2, 0.3}, c{0.1, 1.2, 0.3}, d{0.7, 0.9, 0.3};
+  for (auto _ : state) benchmark::DoNotOptimize(geom::orient3d(a, b, c, d));
+}
+BENCHMARK(BM_Orient3D_ExactFallback);
+
+static void BM_InSphere(benchmark::State& state) {
+  const auto pts = random_points(2, 4000);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::insphere(pts[i % 4000], pts[(i + 1) % 4000],
+                                            pts[(i + 2) % 4000], pts[(i + 3) % 4000],
+                                            pts[(i + 4) % 4000]));
+    ++i;
+  }
+}
+BENCHMARK(BM_InSphere);
+
+static void BM_ConvexHull(benchmark::State& state) {
+  const auto pts = random_points(3, static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(geom::convex_hull(pts));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ConvexHull)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+static void BM_VoronoiCellBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  geom::CellBuilder builder(random_points(4, n), {}, {0, 0, 0}, {1, 1, 1});
+  std::size_t site = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        builder.build(static_cast<int>(site % static_cast<std::size_t>(n)),
+                      {0, 0, 0}, {1, 1, 1}));
+    ++site;
+  }
+}
+BENCHMARK(BM_VoronoiCellBuild)->Arg(1000)->Arg(8000);
+
+static void BM_BlockTessellation(benchmark::State& state) {
+  // Whole-block serial cost: all cells of an n-point block (the per-rank
+  // inner loop of the parallel pipeline).
+  const int n = static_cast<int>(state.range(0));
+  geom::CellBuilder builder(random_points(5, n), {}, {0, 0, 0}, {1, 1, 1});
+  for (auto _ : state) {
+    double vol = 0.0;
+    for (int s = 0; s < n; ++s)
+      vol += builder.build(s, {0, 0, 0}, {1, 1, 1}).volume();
+    benchmark::DoNotOptimize(vol);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BlockTessellation)->Arg(1000)->Arg(4096);
+
+static void BM_Fft3D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  hacc::Fft3D fft(n, n, n);
+  util::Rng rng(6);
+  std::vector<hacc::Complex> grid(fft.size());
+  for (auto& c : grid) c = hacc::Complex(rng.normal(), 0);
+  for (auto _ : state) {
+    fft.forward(grid);
+    fft.inverse(grid);
+    benchmark::DoNotOptimize(grid.data());
+  }
+}
+BENCHMARK(BM_Fft3D)->Arg(16)->Arg(32)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+#include "common.hpp"
+
+#include <mutex>
+
+namespace tess::bench {
+
+InSituResult run_insitu(int nranks, const InSituConfig& cfg) {
+  InSituResult result;
+  std::mutex m;
+  const int tess_at = cfg.tess_at_step < 0 ? cfg.sim.nsteps : cfg.tess_at_step;
+
+  comm::Runtime::run(nranks, [&](comm::Comm& c) {
+    util::Timer sim_timer, tess_timer;
+    sim_timer.start();
+    hacc::Simulation sim(c, cfg.sim);
+    sim.run_until(tess_at);
+    c.barrier();
+    sim_timer.stop();
+
+    tess_timer.start();
+    core::Tessellator t(c, sim.decomposition(), cfg.tess);
+    auto mesh = t.tessellate(sim.local_tess_particles());
+    if (!cfg.output_path.empty()) t.write(cfg.output_path, mesh);
+    c.barrier();
+    tess_timer.stop();
+
+    const auto stats = t.reduced_stats();
+    auto meshes = cfg.gather_meshes ? core::gather_meshes(c, mesh)
+                                    : std::vector<core::BlockMesh>{};
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lock(m);
+      result.sim_wall = sim_timer.seconds();
+      result.tess_wall = tess_timer.seconds();
+      result.exchange_max = stats.exchange_seconds;
+      result.voronoi_max = stats.compute_seconds;
+      result.output_max = stats.output_seconds;
+      result.cells_kept = static_cast<long long>(stats.cells_kept);
+      result.cells_incomplete = static_cast<long long>(stats.cells_incomplete);
+      result.cells_culled = static_cast<long long>(stats.cells_culled_early +
+                                                   stats.cells_culled_volume);
+      result.ghost_exchanged = static_cast<long long>(stats.ghost_received);
+      result.output_bytes = stats.output_bytes;
+      result.traffic_bytes = c.traffic_bytes();
+      result.meshes = std::move(meshes);
+    }
+  });
+  return result;
+}
+
+InSituResult run_standalone(int nranks, const std::vector<diy::Particle>& particles,
+                            double domain, const core::TessOptions& options,
+                            const std::string& output_path, bool gather_meshes) {
+  InSituResult result;
+  std::mutex m;
+  comm::Runtime::run(nranks, [&](comm::Comm& c) {
+    diy::Decomposition d({0, 0, 0}, {domain, domain, domain},
+                         diy::Decomposition::factor(nranks), true);
+    auto mine = diy::migrate_items(
+        c, d, c.rank() == 0 ? particles : std::vector<diy::Particle>{},
+        [](diy::Particle& p) -> geom::Vec3& { return p.pos; });
+    c.barrier();
+
+    util::Timer tess_timer;
+    tess_timer.start();
+    core::Tessellator t(c, d, options);
+    auto mesh = t.tessellate(mine);
+    if (!output_path.empty()) t.write(output_path, mesh);
+    c.barrier();
+    tess_timer.stop();
+
+    const auto stats = t.reduced_stats();
+    auto meshes = gather_meshes ? core::gather_meshes(c, mesh)
+                                : std::vector<core::BlockMesh>{};
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lock(m);
+      result.tess_wall = tess_timer.seconds();
+      result.exchange_max = stats.exchange_seconds;
+      result.voronoi_max = stats.compute_seconds;
+      result.output_max = stats.output_seconds;
+      result.cells_kept = static_cast<long long>(stats.cells_kept);
+      result.cells_incomplete = static_cast<long long>(stats.cells_incomplete);
+      result.cells_culled = static_cast<long long>(stats.cells_culled_early +
+                                                   stats.cells_culled_volume);
+      result.ghost_exchanged = static_cast<long long>(stats.ghost_received);
+      result.output_bytes = stats.output_bytes;
+      result.traffic_bytes = c.traffic_bytes();
+      result.meshes = std::move(meshes);
+    }
+  });
+  return result;
+}
+
+std::vector<diy::Particle> evolve_snapshot(const hacc::SimConfig& cfg, int steps) {
+  std::vector<diy::Particle> out;
+  comm::Runtime::run(1, [&](comm::Comm& c) {
+    hacc::Simulation sim(c, cfg);
+    sim.run_until(steps);
+    out = sim.local_tess_particles();
+  });
+  return out;
+}
+
+}  // namespace tess::bench

@@ -1,0 +1,69 @@
+// Shared machinery for the benchmark harness: drives the mini-HACC
+// simulation with the tessellation in situ and reports the same timing
+// breakdown as the paper's Table II.
+//
+// Timing semantics on this build machine: ranks execute as threads on a
+// single core, so *wall-clock* time measures total serialized work. For
+// scaling metrics we therefore report the per-rank critical path (the
+// maximum of per-rank stage timers), which is what the wall clock of a real
+// distributed run converges to; EXPERIMENTS.md discusses the substitution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/standalone.hpp"
+#include "core/tessellator.hpp"
+#include "hacc/simulation.hpp"
+#include "util/timer.hpp"
+
+namespace tess::bench {
+
+struct InSituResult {
+  // Wall-clock (serialized across thread-ranks).
+  double sim_wall = 0.0;
+  double tess_wall = 0.0;
+  // Per-rank critical path (max across ranks) for the tessellation stages.
+  double exchange_max = 0.0;
+  double voronoi_max = 0.0;
+  double output_max = 0.0;
+  [[nodiscard]] double tess_critical_path() const {
+    return exchange_max + voronoi_max + output_max;
+  }
+
+  long long cells_kept = 0;
+  long long cells_incomplete = 0;
+  long long cells_culled = 0;
+  long long ghost_exchanged = 0;
+  std::uint64_t output_bytes = 0;
+  std::uint64_t traffic_bytes = 0;
+
+  /// Gathered blocks (only when `gather` was requested).
+  std::vector<core::BlockMesh> meshes;
+};
+
+struct InSituConfig {
+  hacc::SimConfig sim{};
+  core::TessOptions tess{};
+  int tess_at_step = -1;       ///< default: sim.nsteps
+  std::string output_path;     ///< empty: skip the write stage
+  bool gather_meshes = false;  ///< collect all blocks on the caller
+};
+
+/// Run the simulation for `tess_at_step` steps on `nranks` ranks, then one
+/// in situ tessellation (+ optional parallel write). Blocking.
+InSituResult run_insitu(int nranks, const InSituConfig& cfg);
+
+/// Tessellate a fixed particle set (no simulation) and report the same
+/// result structure; used by the accuracy and scaling benches.
+InSituResult run_standalone(int nranks, const std::vector<diy::Particle>& particles,
+                            double domain, const core::TessOptions& options,
+                            const std::string& output_path = "",
+                            bool gather_meshes = false);
+
+/// Evolve a simulation serially and return all particles (for benches that
+/// reuse one snapshot across many tessellation configurations).
+std::vector<diy::Particle> evolve_snapshot(const hacc::SimConfig& cfg, int steps);
+
+}  // namespace tess::bench

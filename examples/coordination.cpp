@@ -1,0 +1,85 @@
+// Beyond cosmology (paper §I: "other areas that would benefit include
+// molecular dynamics, computational chemistry, ... materials science"):
+// per-atom Voronoi volumes and Delaunay coordination numbers of a
+// liquid-like atomic configuration, using the serial geometry API directly.
+//
+// Usage: coordination [num_atoms]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "geom/cell_builder.hpp"
+#include "geom/delaunay.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace tess;
+using geom::Vec3;
+
+int main(int argc, char** argv) {
+  const int natoms = argc > 1 ? std::atoi(argv[1]) : 3000;
+  const double box = 20.0;
+
+  // Liquid-like configuration: jittered FCC-ish packing plus vacancies.
+  util::Rng rng(1869);
+  std::vector<Vec3> atoms;
+  std::vector<std::int64_t> ids;
+  const int cells_per_dim = static_cast<int>(std::cbrt(natoms)) + 1;
+  const double a = box / cells_per_dim;
+  std::int64_t id = 0;
+  for (int z = 0; z < cells_per_dim && id < natoms; ++z)
+    for (int y = 0; y < cells_per_dim && id < natoms; ++y)
+      for (int x = 0; x < cells_per_dim && id < natoms; ++x) {
+        if (rng.uniform() < 0.05) continue;  // vacancies
+        Vec3 p{(x + 0.5) * a + 0.15 * a * rng.normal(),
+               (y + 0.5) * a + 0.15 * a * rng.normal(),
+               (z + 0.5) * a + 0.15 * a * rng.normal()};
+        for (std::size_t d = 0; d < 3; ++d) {
+          while (p[d] < 0) p[d] += box;
+          while (p[d] >= box) p[d] -= box;
+        }
+        atoms.push_back(p);
+        ids.push_back(id++);
+      }
+  std::printf("analyzing %zu atoms in a %.0f^3 box\n", atoms.size(), box);
+
+  geom::CellBuilder builder(atoms, ids, {0, 0, 0}, {box, box, box});
+  std::vector<geom::VoronoiCell> cells;
+  std::vector<std::int64_t> site_ids;
+  util::Moments volumes, coordination;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    auto cell = builder.build(static_cast<int>(i), {0, 0, 0}, {box, box, box});
+    if (!cell.complete()) continue;  // surface atoms (non-periodic here)
+    cell.compact();
+    volumes.add(cell.volume());
+    coordination.add(static_cast<double>(cell.neighbor_ids().size()));
+    site_ids.push_back(ids[i]);
+    cells.push_back(std::move(cell));
+  }
+
+  std::printf("interior atoms              : %zu\n", cells.size());
+  std::printf("Voronoi (atomic) volume     : %.3f +/- %.3f\n", volumes.mean(),
+              volumes.stddev());
+  std::printf("coordination number         : %.2f +/- %.2f (liquids: ~14 for\n"
+              "                              Voronoi neighbors of random packings)\n",
+              coordination.mean(), coordination.stddev());
+
+  // Delaunay tetrahedra: the dual mesh a downstream tool would use for
+  // interpolation between atoms.
+  const auto tets = geom::delaunay_from_cells(cells, site_ids);
+  std::printf("Delaunay tetrahedra         : %zu (~6.7 per interior atom for\n"
+              "                              Poisson point sets)\n",
+              tets.size());
+
+  // Coordination histogram.
+  std::map<int, int> histo;
+  for (const auto& c : cells) histo[static_cast<int>(c.neighbor_ids().size())]++;
+  std::printf("\ncoordination histogram:\n");
+  for (const auto& [k, n] : histo) {
+    std::printf("  %2d: %5d ", k, n);
+    for (int j = 0; j < n * 60 / static_cast<int>(cells.size() + 1); ++j)
+      std::printf("#");
+    std::printf("\n");
+  }
+  return 0;
+}

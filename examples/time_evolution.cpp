@@ -1,0 +1,79 @@
+// Time-varying void evolution (paper §IV-D): tessellate at regular
+// intervals of the simulation and track how the cell volume and density
+// contrast distributions evolve as structure forms.
+//
+// Usage: time_evolution [np_per_dim] [ranks] [interval]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/density.hpp"
+#include "analysis/insitu_stats.hpp"
+#include "comm/comm.hpp"
+#include "core/standalone.hpp"
+#include "hacc/simulation.hpp"
+#include "util/table.hpp"
+
+using namespace tess;
+
+int main(int argc, char** argv) {
+  const int np = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int nranks = argc > 2 ? std::atoi(argv[2]) : 2;
+  const int interval = argc > 3 ? std::atoi(argv[3]) : 10;
+
+  std::printf("tessellating every %d steps of a %d^3 simulation on %d ranks\n\n",
+              interval, np, nranks);
+
+  util::Table table({"Step", "a", "VolSkew", "VolKurt", "DeltaMin", "DeltaMax",
+                     "DeltaSkew", "DeltaKurt"});
+
+  comm::Runtime::run(nranks, [&](comm::Comm& comm) {
+    hacc::SimConfig cfg;
+    cfg.np = np;
+    int ng = 1;
+    while (ng < np) ng *= 2;
+    cfg.ng = ng;
+    cfg.nsteps = 100;
+    cfg.seed = 7;
+    hacc::Simulation sim(comm, cfg);
+
+    core::TessOptions options;
+    options.ghost = 4.0 * sim.box() / np;
+    core::Tessellator tess(comm, sim.decomposition(), options);
+
+    for (int step = interval; step <= cfg.nsteps; step += interval) {
+      sim.run_until(step);
+      auto mesh = tess.tessellate(sim.local_tess_particles());
+      // In situ summary statistics (paper §V): every rank histograms only
+      // its own block's cells; the reduction merges them across ranks
+      // without moving any cell data.
+      const std::vector<core::BlockMesh> local{mesh};
+      auto vol = analysis::reduce_histogram(
+          comm, analysis::volume_histogram(local, 0.0, 8.0, 100));
+      // Density contrast needs the global mean density: cells have unit
+      // mass, so mu = N_cells / V_domain.
+      const auto cells =
+          comm.allreduce_sum(static_cast<long long>(mesh.cells.size()));
+      const double mu = static_cast<double>(cells) / std::pow(sim.box(), 3);
+      util::Histogram dh_local(-1.0, 50.0, 100);
+      for (double dcl : analysis::density_contrast(local, mu)) dh_local.add(dcl);
+      auto dh = analysis::reduce_histogram(comm, dh_local);
+      if (comm.rank() == 0) {
+        table.add_row({util::Table::cell(std::size_t(step)),
+                       util::Table::cell(sim.a(), 3),
+                       util::Table::cell(vol.moments().skewness(), 2),
+                       util::Table::cell(vol.moments().kurtosis(), 1),
+                       util::Table::cell(dh.moments().min(), 2),
+                       util::Table::cell(dh.moments().max(), 2),
+                       util::Table::cell(dh.moments().skewness(), 2),
+                       util::Table::cell(dh.moments().kurtosis(), 1)});
+      }
+    }
+  });
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected: all statistics grow as perturbation theory breaks down —\n"
+              "particles coalesce into halos (many small cells) while void cells\n"
+              "grow ever larger (heavy right tail)\n");
+  return 0;
+}

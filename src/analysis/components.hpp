@@ -1,0 +1,56 @@
+// Connected-component labeling over the Voronoi face-adjacency graph —
+// the plugin feature the paper uses to turn threshold-surviving cells into
+// cosmological voids (§III-D, Figure 9). Two cells are connected when they
+// share a face (one lists the other's site as a face neighbor), which the
+// tessellation records exactly in each face's natural-neighbor id; the
+// labeling therefore works across block boundaries without any geometric
+// matching.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/block_mesh.hpp"
+
+namespace tess::analysis {
+
+struct Component {
+  std::int64_t label = -1;  ///< representative site id
+  std::size_t num_cells = 0;
+  double volume = 0.0;      ///< summed cell volume
+};
+
+class ConnectedComponents {
+ public:
+  /// Build from the cells present in `blocks` (typically already threshold
+  /// filtered). Face adjacency toward absent cells is ignored.
+  explicit ConnectedComponents(const std::vector<core::BlockMesh>& blocks);
+
+  /// Component label for a site id, or -1 if the cell is absent.
+  [[nodiscard]] std::int64_t label_of(std::int64_t site_id) const;
+
+  /// Components sorted by descending volume.
+  [[nodiscard]] const std::vector<Component>& components() const {
+    return components_;
+  }
+  [[nodiscard]] std::size_t num_components() const { return components_.size(); }
+
+  /// Site ids belonging to one component label.
+  [[nodiscard]] std::vector<std::int64_t> sites_of(std::int64_t label) const;
+
+  /// Every (site, label) pair of the labeling (used by feature tracking).
+  [[nodiscard]] std::vector<std::array<std::int64_t, 2>> labeled_sites() const;
+
+ private:
+  std::size_t find(std::size_t i) const;
+
+  std::unordered_map<std::int64_t, std::size_t> index_of_site_;
+  std::vector<std::int64_t> site_of_index_;
+  mutable std::vector<std::size_t> parent_;
+  std::vector<std::int64_t> label_;  ///< per cell index, after collation
+  std::vector<Component> components_;
+};
+
+}  // namespace tess::analysis

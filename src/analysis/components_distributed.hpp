@@ -1,0 +1,42 @@
+// Distributed (in situ) connected-component labeling — the paper's §V
+// future work ("we plan to label connected components automatically in
+// situ as well"), implemented over the same face-adjacency graph as the
+// postprocessing version.
+//
+// Algorithm (collective):
+//   1. each rank runs union-find over its own block's cells;
+//   2. only boundary information travels: for each face pointing at a cell
+//      this rank does not own, the (local root, remote site) pair, plus a
+//      (site -> local root) table for the rank's own boundary cells;
+//   3. rank 0 merges the roots across blocks and assigns the final label
+//      (the smallest member site id, identical to the serial labeling);
+//   4. the (root -> final label) map is broadcast and applied locally.
+//
+// The result is bitwise-identical to ConnectedComponents run on the
+// gathered blocks, at O(boundary) communication instead of O(cells).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/components.hpp"
+#include "comm/comm.hpp"
+#include "core/block_mesh.hpp"
+
+namespace tess::analysis {
+
+struct DistributedLabels {
+  /// Final component label for each cell of this rank's mesh (aligned with
+  /// mesh.cells).
+  std::vector<std::int64_t> cell_labels;
+  /// Global components sorted by descending volume (identical on every
+  /// rank).
+  std::vector<Component> components;
+};
+
+/// Collective over `comm`; each rank passes its own (already filtered)
+/// block mesh.
+DistributedLabels distributed_components(comm::Comm& comm,
+                                         const core::BlockMesh& mesh);
+
+}  // namespace tess::analysis

@@ -1,0 +1,51 @@
+#include "analysis/density.hpp"
+
+#include <algorithm>
+
+namespace tess::analysis {
+
+std::vector<double> cell_volumes(const std::vector<core::BlockMesh>& blocks) {
+  std::vector<double> v;
+  for (const auto& mesh : blocks)
+    for (const auto& c : mesh.cells) v.push_back(c.volume);
+  return v;
+}
+
+std::vector<double> density_contrast(const std::vector<core::BlockMesh>& blocks,
+                                     double mean_density) {
+  std::vector<double> d;
+  for (const auto& mesh : blocks)
+    for (const auto& c : mesh.cells)
+      if (c.volume > 0.0) d.push_back(1.0 / c.volume);
+  if (mean_density <= 0.0) {
+    double sum = 0.0;
+    for (double x : d) sum += x;
+    mean_density = d.empty() ? 1.0 : sum / static_cast<double>(d.size());
+  }
+  for (double& x : d) x = (x - mean_density) / mean_density;
+  return d;
+}
+
+util::Histogram volume_histogram(const std::vector<core::BlockMesh>& blocks,
+                                 double lo, double hi, std::size_t bins) {
+  util::Histogram h(lo, hi, bins);
+  for (const auto& mesh : blocks)
+    for (const auto& c : mesh.cells) h.add(c.volume);
+  return h;
+}
+
+util::Histogram density_contrast_histogram(
+    const std::vector<core::BlockMesh>& blocks, std::size_t bins, double lo,
+    double hi) {
+  const auto d = density_contrast(blocks);
+  if (lo >= hi) {
+    const auto [mn, mx] = std::minmax_element(d.begin(), d.end());
+    lo = d.empty() ? 0.0 : *mn;
+    hi = d.empty() ? 1.0 : *mx + 1e-12;
+  }
+  util::Histogram h(lo, hi, bins);
+  for (double x : d) h.add(x);
+  return h;
+}
+
+}  // namespace tess::analysis

@@ -1,0 +1,36 @@
+// Cell density statistics (paper §IV-B and §IV-D, Figures 8 and 11).
+//
+// With unit-mass tracer particles, the density of a Voronoi cell is the
+// reciprocal of its volume, and the density contrast is
+//   delta = (d - mu_d) / mu_d
+// with mu_d the mean cell density. The paper tracks the distributions of
+// cell volume and delta over time: both grow increasingly skewed and
+// heavy-tailed as structure forms.
+#pragma once
+
+#include <vector>
+
+#include "core/block_mesh.hpp"
+#include "util/stats.hpp"
+
+namespace tess::analysis {
+
+/// All cell volumes across blocks.
+std::vector<double> cell_volumes(const std::vector<core::BlockMesh>& blocks);
+
+/// Per-cell density contrast. `mean_density` <= 0 computes the mean of the
+/// cells' own densities (the paper's mu_d).
+std::vector<double> density_contrast(const std::vector<core::BlockMesh>& blocks,
+                                     double mean_density = 0.0);
+
+/// Figure-8-style volume histogram: `bins` equal bins over [lo, hi].
+util::Histogram volume_histogram(const std::vector<core::BlockMesh>& blocks,
+                                 double lo, double hi, std::size_t bins);
+
+/// Figure-11-style density-contrast histogram; the range is taken from the
+/// data itself when lo >= hi.
+util::Histogram density_contrast_histogram(
+    const std::vector<core::BlockMesh>& blocks, std::size_t bins,
+    double lo = 0.0, double hi = 0.0);
+
+}  // namespace tess::analysis

@@ -1,0 +1,127 @@
+#include "analysis/dtfe.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tess::analysis {
+
+using geom::Tetrahedron;
+using geom::Vec3;
+
+namespace {
+
+// Vertices of a tetrahedron unwrapped so all lie within box/2 of the first.
+struct TetGeom {
+  Vec3 v[4];
+  double volume6;  // 6 * signed volume
+};
+
+TetGeom unwrap(const Tetrahedron& t,
+               const std::unordered_map<std::int64_t, Vec3>& pos, double box) {
+  TetGeom g{};
+  g.v[0] = pos.at(t.v[0]);
+  for (int i = 1; i < 4; ++i) {
+    Vec3 p = pos.at(t.v[static_cast<std::size_t>(i)]);
+    for (std::size_t a = 0; a < 3; ++a) {
+      if (p[a] - g.v[0][a] > box / 2) p[a] -= box;
+      if (g.v[0][a] - p[a] > box / 2) p[a] += box;
+    }
+    g.v[static_cast<std::size_t>(i)] = p;
+  }
+  const Vec3 e1 = g.v[1] - g.v[0], e2 = g.v[2] - g.v[0], e3 = g.v[3] - g.v[0];
+  g.volume6 = dot(e1, cross(e2, e3));
+  return g;
+}
+
+}  // namespace
+
+std::unordered_map<std::int64_t, double> dtfe_site_densities(
+    const std::vector<Tetrahedron>& tets,
+    const std::unordered_map<std::int64_t, Vec3>& positions, double box,
+    double mass) {
+  if (box <= 0.0) throw std::invalid_argument("dtfe_site_densities: box <= 0");
+  std::unordered_map<std::int64_t, double> star_volume;
+  for (const auto& t : tets) {
+    const auto g = unwrap(t, positions, box);
+    const double vol = std::fabs(g.volume6) / 6.0;
+    for (auto site : t.v) star_volume[site] += vol;
+  }
+  std::unordered_map<std::int64_t, double> density;
+  density.reserve(star_volume.size());
+  for (const auto& [site, w] : star_volume)
+    if (w > 0.0) density[site] = 4.0 * mass / w;  // (D+1) m / W_i, D = 3
+  return density;
+}
+
+DtfeField dtfe_density_grid(
+    const std::vector<Tetrahedron>& tets,
+    const std::unordered_map<std::int64_t, Vec3>& positions,
+    const DtfeOptions& opt) {
+  if (opt.box <= 0.0 || opt.grid < 1)
+    throw std::invalid_argument("dtfe_density_grid: bad options");
+  const auto site_rho = dtfe_site_densities(tets, positions, opt.box, opt.mass);
+
+  DtfeField field;
+  field.grid = opt.grid;
+  field.density.assign(static_cast<std::size_t>(opt.grid) * opt.grid * opt.grid, 0.0);
+
+  const double h = opt.box / opt.grid;
+  auto sample = [&](int g) { return (static_cast<double>(g) + 0.5) * h; };
+
+  for (const auto& t : tets) {
+    const auto g = unwrap(t, positions, opt.box);
+    if (std::fabs(g.volume6) < 1e-14) continue;
+    double rho[4];
+    bool have_all = true;
+    for (int i = 0; i < 4; ++i) {
+      const auto it = site_rho.find(t.v[static_cast<std::size_t>(i)]);
+      if (it == site_rho.end()) {
+        have_all = false;
+        break;
+      }
+      rho[i] = it->second;
+    }
+    if (!have_all) continue;
+
+    Vec3 lo = g.v[0], hi = g.v[0];
+    for (int i = 1; i < 4; ++i)
+      for (std::size_t a = 0; a < 3; ++a) {
+        lo[a] = std::min(lo[a], g.v[static_cast<std::size_t>(i)][a]);
+        hi[a] = std::max(hi[a], g.v[static_cast<std::size_t>(i)][a]);
+      }
+    int g0[3], g1[3];
+    for (std::size_t a = 0; a < 3; ++a) {
+      g0[a] = static_cast<int>(std::ceil((lo[a] - 0.5 * h) / h));
+      g1[a] = static_cast<int>(std::floor((hi[a] - 0.5 * h) / h));
+    }
+    for (int gz = g0[2]; gz <= g1[2]; ++gz)
+      for (int gy = g0[1]; gy <= g1[1]; ++gy)
+        for (int gx = g0[0]; gx <= g1[0]; ++gx) {
+          const Vec3 p{sample(gx), sample(gy), sample(gz)};
+          // Barycentric coordinates relative to vertex 0.
+          const Vec3 e1 = g.v[1] - g.v[0], e2 = g.v[2] - g.v[0], e3 = g.v[3] - g.v[0];
+          const Vec3 d = p - g.v[0];
+          const double b1 = dot(d, cross(e2, e3)) / g.volume6;
+          const double b2 = dot(e1, cross(d, e3)) / g.volume6;
+          const double b3 = dot(e1, cross(e2, d)) / g.volume6;
+          const double b0 = 1.0 - b1 - b2 - b3;
+          const double eps = -1e-12;
+          if (b0 < eps || b1 < eps || b2 < eps || b3 < eps) continue;
+          const double value = b0 * rho[0] + b1 * rho[1] + b2 * rho[2] + b3 * rho[3];
+          const int wx = ((gx % opt.grid) + opt.grid) % opt.grid;
+          const int wy = ((gy % opt.grid) + opt.grid) % opt.grid;
+          const int wz = ((gz % opt.grid) + opt.grid) % opt.grid;
+          auto& slot =
+              field.density[(static_cast<std::size_t>(wz) * opt.grid +
+                             static_cast<std::size_t>(wy)) *
+                                static_cast<std::size_t>(opt.grid) +
+                            static_cast<std::size_t>(wx)];
+          // Shared faces may rasterize a point from two tets; keep one
+          // (values agree up to interpolation continuity).
+          slot = value;
+        }
+  }
+  return field;
+}
+
+}  // namespace tess::analysis

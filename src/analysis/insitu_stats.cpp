@@ -1,0 +1,52 @@
+#include "analysis/insitu_stats.hpp"
+
+#include <stdexcept>
+
+namespace tess::analysis {
+
+util::Moments reduce_moments(comm::Comm& comm, const util::Moments& local) {
+  // Moments is trivially copyable; gather and merge in rank order so the
+  // result is deterministic.
+  static_assert(std::is_trivially_copyable_v<util::Moments>);
+  auto all = comm.gather(local, 0);
+  util::Moments merged;
+  if (comm.rank() == 0)
+    for (const auto& m : all) merged.merge(m);
+  std::vector<util::Moments> box{merged};
+  comm.broadcast(box, 0);
+  return box[0];
+}
+
+util::Histogram reduce_histogram(comm::Comm& comm, const util::Histogram& local) {
+  const auto bins = comm.allreduce_max(local.bins());
+  const auto lo = comm.allreduce_min(local.lo());
+  const auto hi = comm.allreduce_max(local.hi());
+  // Consistency must be decided collectively: if only the disagreeing rank
+  // threw, the others would deadlock inside the following collectives.
+  const int ok =
+      bins == local.bins() && lo == local.lo() && hi == local.hi() ? 1 : 0;
+  if (comm.allreduce_min(ok) == 0)
+    throw std::invalid_argument("reduce_histogram: ranks disagree on binning");
+
+  // Sum the count arrays element-wise and merge the moments.
+  auto counts = local.counts();
+  auto all_counts = comm.gatherv(counts);
+  std::vector<std::size_t> merged_counts(bins, 0);
+  if (comm.rank() == 0) {
+    for (std::size_t r = 0; r * bins < all_counts.size(); ++r)
+      for (std::size_t b = 0; b < bins; ++b)
+        merged_counts[b] += all_counts[r * bins + b];
+  }
+  comm.broadcast(merged_counts, 0);
+
+  const auto underflow =
+      comm.allreduce_sum(static_cast<std::uint64_t>(local.underflow()));
+  const auto overflow =
+      comm.allreduce_sum(static_cast<std::uint64_t>(local.overflow()));
+  const auto moments = reduce_moments(comm, local.moments());
+  return util::Histogram::from_state(lo, hi, std::move(merged_counts),
+                                     static_cast<std::size_t>(underflow),
+                                     static_cast<std::size_t>(overflow), moments);
+}
+
+}  // namespace tess::analysis

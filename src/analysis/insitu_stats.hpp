@@ -1,0 +1,20 @@
+// In situ summary statistics (paper §V: "we are also considering moving
+// more postprocessing tasks in situ, such as ... histogram summary
+// statistics"): cross-rank reduction of histograms and moment accumulators
+// so every rank (or just the root) sees the global distribution without
+// any particle or cell data leaving the node.
+#pragma once
+
+#include "comm/comm.hpp"
+#include "util/stats.hpp"
+
+namespace tess::analysis {
+
+/// Merge per-rank moment accumulators; result valid on every rank.
+util::Moments reduce_moments(comm::Comm& comm, const util::Moments& local);
+
+/// Merge per-rank histograms (must share lo/hi/bins); result valid on every
+/// rank.
+util::Histogram reduce_histogram(comm::Comm& comm, const util::Histogram& local);
+
+}  // namespace tess::analysis

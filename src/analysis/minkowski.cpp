@@ -1,0 +1,153 @@
+#include "analysis/minkowski.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+
+#include "analysis/components.hpp"
+#include "geom/vec3.hpp"
+
+namespace tess::analysis {
+
+using geom::Vec3;
+
+double Minkowski::length() const { return curvature / (4.0 * std::numbers::pi); }
+
+namespace {
+
+// Quantized-position key used to weld vertices across cells and blocks.
+struct VKey {
+  std::int64_t x, y, z;
+  bool operator==(const VKey&) const = default;
+};
+struct VKeyHash {
+  std::size_t operator()(const VKey& k) const {
+    std::size_t h = static_cast<std::size_t>(k.x) * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<std::size_t>(k.y) * 0xc2b2ae3d27d4eb4fULL + (h << 6);
+    h ^= static_cast<std::size_t>(k.z) * 0x165667b19e3779f9ULL + (h >> 2);
+    return h;
+  }
+};
+constexpr double kWeldQuantum = 1e-6;
+
+struct EdgeKey {
+  int u, v;  // welded vertex ids, u < v
+  bool operator==(const EdgeKey&) const = default;
+};
+struct EdgeKeyHash {
+  std::size_t operator()(const EdgeKey& e) const {
+    return (static_cast<std::size_t>(static_cast<std::uint32_t>(e.u)) << 32) |
+           static_cast<std::uint32_t>(e.v);
+  }
+};
+
+struct EdgeInfo {
+  Vec3 normal_a;  // unit normal of the first face seen
+  Vec3 dir_a;     // unit direction of that face's traversal of the edge
+  double length = 0.0;
+  int count = 0;
+  Vec3 normal_b;
+};
+
+}  // namespace
+
+Minkowski minkowski_functionals(const std::vector<core::BlockMesh>& blocks,
+                                const ConnectedComponents& cc,
+                                std::int64_t label) {
+  Minkowski m;
+
+  std::unordered_map<VKey, int, VKeyHash> weld;
+  std::vector<Vec3> verts;
+  auto weld_id = [&](const Vec3& p) {
+    const VKey key{static_cast<std::int64_t>(std::llround(p.x / kWeldQuantum)),
+                   static_cast<std::int64_t>(std::llround(p.y / kWeldQuantum)),
+                   static_cast<std::int64_t>(std::llround(p.z / kWeldQuantum))};
+    const auto it = weld.find(key);
+    if (it != weld.end()) return it->second;
+    const int id = static_cast<int>(verts.size());
+    verts.push_back(p);
+    weld.emplace(key, id);
+    return id;
+  };
+
+  std::unordered_map<EdgeKey, EdgeInfo, EdgeKeyHash> edges;
+  std::vector<int> loop;
+
+  for (const auto& mesh : blocks) {
+    for (const auto& c : mesh.cells) {
+      if (cc.label_of(c.site_id) != label) continue;
+      m.volume += c.volume;
+      for (std::uint32_t f = c.first_face; f < c.first_face + c.num_faces; ++f) {
+        const auto nb = mesh.face_neighbors[f];
+        // Interior faces (neighbor in the same component) are not boundary.
+        if (nb >= 0 && cc.label_of(nb) == label) continue;
+
+        loop.clear();
+        for (std::uint32_t k = mesh.face_offsets[f]; k < mesh.face_offsets[f + 1]; ++k)
+          loop.push_back(weld_id(mesh.vertices[mesh.face_verts[k]]));
+        if (loop.size() < 3) continue;
+        ++m.boundary_faces;
+
+        // Face area and outward unit normal (loops are stored with the
+        // owning cell's outward orientation).
+        Vec3 nsum{};
+        const Vec3& p0 = verts[static_cast<std::size_t>(loop[0])];
+        for (std::size_t i = 1; i + 1 < loop.size(); ++i)
+          nsum += cross(verts[static_cast<std::size_t>(loop[i])] - p0,
+                        verts[static_cast<std::size_t>(loop[i + 1])] - p0);
+        const double area2 = norm(nsum);
+        m.area += 0.5 * area2;
+        const Vec3 n = area2 > 0.0 ? nsum / area2 : Vec3{};
+
+        // Register the face's directed edges.
+        for (std::size_t i = 0; i < loop.size(); ++i) {
+          const int u = loop[i];
+          const int v = loop[(i + 1) % loop.size()];
+          if (u == v) continue;
+          EdgeKey key{std::min(u, v), std::max(u, v)};
+          auto& info = edges[key];
+          const Vec3 d = normalized(verts[static_cast<std::size_t>(v)] -
+                                    verts[static_cast<std::size_t>(u)]);
+          if (info.count == 0) {
+            info.normal_a = n;
+            info.dir_a = d;
+            info.length = dist(verts[static_cast<std::size_t>(u)],
+                               verts[static_cast<std::size_t>(v)]);
+          } else {
+            info.normal_b = n;
+          }
+          ++info.count;
+        }
+      }
+    }
+  }
+
+  // Integrated mean curvature: C = 1/2 * sum L_e * epsilon_e with the
+  // exterior angle signed by convexity (convex edge positive).
+  for (const auto& [key, info] : edges) {
+    (void)key;
+    ++m.boundary_edges;
+    if (info.count != 2) continue;  // open edge (cracked weld); skip angle
+    const double s = dot(cross(info.normal_a, info.normal_b), info.dir_a);
+    const double cang = std::clamp(dot(info.normal_a, info.normal_b), -1.0, 1.0);
+    const double eps = std::atan2(s, cang);
+    m.curvature += 0.5 * info.length * eps;
+  }
+  m.boundary_vertices = verts.size();
+  m.euler = static_cast<long>(m.boundary_vertices) -
+            static_cast<long>(m.boundary_edges) +
+            static_cast<long>(m.boundary_faces);
+  return m;
+}
+
+std::vector<Minkowski> minkowski_all(const std::vector<core::BlockMesh>& blocks,
+                                     const ConnectedComponents& cc) {
+  std::vector<Minkowski> out;
+  out.reserve(cc.components().size());
+  for (const auto& comp : cc.components())
+    out.push_back(minkowski_functionals(blocks, cc, comp.label));
+  return out;
+}
+
+}  // namespace tess::analysis

@@ -1,0 +1,50 @@
+// Minkowski functionals of connected components (paper §III-D).
+//
+// For a union of Voronoi cells bounded by a closed polyhedral surface, the
+// four functionals are:
+//   V — enclosed volume (sum of member cell volumes),
+//   S — boundary surface area,
+//   C — integrated mean curvature, 1/2 * sum over boundary edges of
+//       edge_length * exterior dihedral angle (positive at convex edges),
+//   chi — Euler characteristic of the boundary surface (vertices - edges +
+//       faces after geometric welding); genus = (2 - chi) / 2 per shell.
+// Derived SURFGEN-style shape descriptors (Sheth et al. 2002, ref. [21]):
+//   thickness T = 3 V / S,  breadth B = S / C,  length L = C / (4 pi).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/block_mesh.hpp"
+
+namespace tess::analysis {
+
+class ConnectedComponents;
+
+struct Minkowski {
+  double volume = 0.0;     ///< V
+  double area = 0.0;       ///< S
+  double curvature = 0.0;  ///< C (integrated mean curvature)
+  long euler = 0;          ///< chi of the boundary surface
+
+  [[nodiscard]] double genus() const { return 1.0 - static_cast<double>(euler) / 2.0; }
+  [[nodiscard]] double thickness() const { return area > 0.0 ? 3.0 * volume / area : 0.0; }
+  [[nodiscard]] double breadth() const { return curvature > 0.0 ? area / curvature : 0.0; }
+  [[nodiscard]] double length() const;
+
+  std::size_t boundary_faces = 0;
+  std::size_t boundary_edges = 0;
+  std::size_t boundary_vertices = 0;
+};
+
+/// Functionals of the component with the given label. Boundary faces are
+/// the member cells' faces whose neighbor cell is not in the component.
+Minkowski minkowski_functionals(const std::vector<core::BlockMesh>& blocks,
+                                const ConnectedComponents& cc,
+                                std::int64_t label);
+
+/// Functionals of every component, ordered like cc.components().
+std::vector<Minkowski> minkowski_all(const std::vector<core::BlockMesh>& blocks,
+                                     const ConnectedComponents& cc);
+
+}  // namespace tess::analysis

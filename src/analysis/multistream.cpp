@@ -1,0 +1,138 @@
+#include "analysis/multistream.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/predicates.hpp"
+
+namespace tess::analysis {
+
+using geom::Vec3;
+
+double MultistreamField::fraction(int n) const {
+  std::size_t hits = 0;
+  for (int s : streams)
+    if (s == n) ++hits;
+  return streams.empty() ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(streams.size());
+}
+
+double MultistreamField::fraction_at_least(int n) const {
+  std::size_t hits = 0;
+  for (int s : streams)
+    if (s >= n) ++hits;
+  return streams.empty() ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(streams.size());
+}
+
+namespace {
+
+// Kuhn/Freudenthal split: 6 tetrahedra per cube, all sharing the main
+// diagonal corner0 -> corner7 (corner bit i -> +x, bit 1 -> +y, bit 2 -> +z).
+constexpr int kTets[6][4] = {
+    {0, 1, 3, 7}, {0, 1, 5, 7}, {0, 2, 3, 7},
+    {0, 2, 6, 7}, {0, 4, 5, 7}, {0, 4, 6, 7},
+};
+
+inline bool same_strict_side(double a, double b) {
+  return (a > 0 && b > 0) || (a < 0 && b < 0);
+}
+
+}  // namespace
+
+MultistreamField multistream_field(const std::vector<Vec3>& positions_by_id,
+                                   const MultistreamOptions& opt) {
+  if (opt.np < 2 || opt.grid < 1 || opt.box <= 0.0)
+    throw std::invalid_argument("multistream_field: bad options");
+  const auto np = static_cast<std::size_t>(opt.np);
+  if (positions_by_id.size() != np * np * np)
+    throw std::invalid_argument("multistream_field: positions size != np^3");
+
+  MultistreamField field;
+  field.grid = opt.grid;
+  field.streams.assign(static_cast<std::size_t>(opt.grid) * opt.grid * opt.grid, 0);
+
+  const double h = opt.box / opt.grid;
+  // Sample points sit at irrational-ish offsets inside each grid cell —
+  // distinct per axis — so they never align with tetrahedron faces of a
+  // regular (unperturbed) lattice (the Kuhn split has diagonal faces on
+  // planes like x_rel == y_rel), keeping the covering count well defined.
+  const double off[3] = {0.3819660112501051 * h, 0.2679491924311227 * h,
+                         0.1715728752538099 * h};
+  auto sample = [&](int g, int axis) {
+    return static_cast<double>(g) * h + off[axis];
+  };
+
+  auto lattice_id = [&](int x, int y, int z) {
+    const auto xs = static_cast<std::size_t>((x + opt.np) % opt.np);
+    const auto ys = static_cast<std::size_t>((y + opt.np) % opt.np);
+    const auto zs = static_cast<std::size_t>((z + opt.np) % opt.np);
+    return (zs * np + ys) * np + xs;
+  };
+
+  Vec3 corner[8];
+  for (int cz = 0; cz < opt.np; ++cz)
+    for (int cy = 0; cy < opt.np; ++cy)
+      for (int cx = 0; cx < opt.np; ++cx) {
+        // Evolved positions of the cube's 8 corners, unwrapped relative to
+        // corner 0 (displacements are far below box/2).
+        const Vec3 ref = positions_by_id[lattice_id(cx, cy, cz)];
+        for (int b = 0; b < 8; ++b) {
+          Vec3 p = positions_by_id[lattice_id(cx + (b & 1), cy + ((b >> 1) & 1),
+                                              cz + ((b >> 2) & 1))];
+          for (std::size_t a = 0; a < 3; ++a) {
+            if (p[a] - ref[a] > opt.box / 2) p[a] -= opt.box;
+            if (ref[a] - p[a] > opt.box / 2) p[a] += opt.box;
+          }
+          corner[b] = p;
+        }
+
+        for (const auto& t : kTets) {
+          const Vec3& a = corner[t[0]];
+          const Vec3& b = corner[t[1]];
+          const Vec3& c = corner[t[2]];
+          const Vec3& d = corner[t[3]];
+          const double vol = geom::orient3d_fast(a, b, c, d);
+          if (std::fabs(vol) < 1e-14) continue;  // fully collapsed tet
+
+          // Bounding box -> candidate sample indices (wrapped).
+          Vec3 lo = a, hi = a;
+          for (const Vec3* q : {&b, &c, &d})
+            for (std::size_t ax = 0; ax < 3; ++ax) {
+              lo[ax] = std::min(lo[ax], (*q)[ax]);
+              hi[ax] = std::max(hi[ax], (*q)[ax]);
+            }
+          int g0[3], g1[3];
+          for (std::size_t ax = 0; ax < 3; ++ax) {
+            g0[ax] = static_cast<int>(std::ceil((lo[ax] - off[ax]) / h));
+            g1[ax] = static_cast<int>(std::floor((hi[ax] - off[ax]) / h));
+          }
+          for (int gz = g0[2]; gz <= g1[2]; ++gz)
+            for (int gy = g0[1]; gy <= g1[1]; ++gy)
+              for (int gx = g0[0]; gx <= g1[0]; ++gx) {
+                const Vec3 p{sample(gx, 0), sample(gy, 1), sample(gz, 2)};
+                // Inside iff p is on the same side as the opposite vertex
+                // for all four faces (strict: face points are not counted).
+                const double s0 = geom::orient3d_fast(p, b, c, d);
+                const double s1 = geom::orient3d_fast(a, p, c, d);
+                const double s2 = geom::orient3d_fast(a, b, p, d);
+                const double s3 = geom::orient3d_fast(a, b, c, p);
+                if (same_strict_side(s0, vol) && same_strict_side(s1, vol) &&
+                    same_strict_side(s2, vol) && same_strict_side(s3, vol)) {
+                  const int wx = ((gx % opt.grid) + opt.grid) % opt.grid;
+                  const int wy = ((gy % opt.grid) + opt.grid) % opt.grid;
+                  const int wz = ((gz % opt.grid) + opt.grid) % opt.grid;
+                  ++field.streams[(static_cast<std::size_t>(wz) * opt.grid +
+                                   static_cast<std::size_t>(wy)) *
+                                      static_cast<std::size_t>(opt.grid) +
+                                  static_cast<std::size_t>(wx)];
+                }
+              }
+        }
+      }
+  return field;
+}
+
+}  // namespace tess::analysis

@@ -1,0 +1,49 @@
+// Multistream field detection (the "multistream detection" tool of the
+// paper's in situ framework, Fig. 4; method of Shandarin, Habib & Heitmann
+// 2012, the paper's ref [8], which combines it with tessellations).
+//
+// The initial particle lattice defines a Lagrangian sheet: each lattice
+// cube is split into 6 tetrahedra (Kuhn/Freudenthal split) whose vertices
+// are particles. Mapping the vertices to their evolved positions folds the
+// sheet; the number of tetrahedra covering a point x is the number of mass
+// streams at x. Single-stream regions (count 1) are voids; three or more
+// streams mark collapsed structure (walls, filaments, halos — Zel'dovich
+// pancakes show up as the first 3-stream regions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace tess::analysis {
+
+struct MultistreamOptions {
+  int np = 0;        ///< lattice points per dimension (particle ids are in
+                     ///< lattice order, as produced by the Zel'dovich ICs)
+  double box = 0.0;  ///< periodic domain side
+  int grid = 0;      ///< sampling grid resolution per dimension
+};
+
+struct MultistreamField {
+  int grid = 0;
+  std::vector<int> streams;  ///< stream count per sample point, x-fastest
+
+  [[nodiscard]] int at(int x, int y, int z) const {
+    return streams[(static_cast<std::size_t>(z) * grid + static_cast<std::size_t>(y)) *
+                       static_cast<std::size_t>(grid) +
+                   static_cast<std::size_t>(x)];
+  }
+  /// Fraction of sample points with exactly n streams.
+  [[nodiscard]] double fraction(int n) const;
+  /// Fraction with at least n streams.
+  [[nodiscard]] double fraction_at_least(int n) const;
+};
+
+/// Compute the stream count at every sample point (cell centers of a
+/// grid^3 mesh over the periodic box). `positions_by_id[i]` is the evolved
+/// position of the particle whose lattice id is i.
+MultistreamField multistream_field(const std::vector<geom::Vec3>& positions_by_id,
+                                   const MultistreamOptions& options);
+
+}  // namespace tess::analysis

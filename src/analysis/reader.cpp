@@ -1,0 +1,40 @@
+#include "analysis/reader.hpp"
+
+#include "diy/blockio.hpp"
+
+namespace tess::analysis {
+
+TessReader::TessReader(const std::string& path) : path_(path) {
+  // Validate the file eagerly so constructor failure pinpoints the path.
+  diy::BlockFileReader probe(path_);
+}
+
+int TessReader::num_blocks() const { return diy::BlockFileReader(path_).num_blocks(); }
+
+core::BlockMesh TessReader::read_block(int block) const {
+  auto buf = diy::BlockFileReader(path_).read_block(block);
+  return core::BlockMesh::deserialize(buf);
+}
+
+std::vector<core::BlockMesh> TessReader::read_all() const {
+  diy::BlockFileReader reader(path_);
+  std::vector<core::BlockMesh> all;
+  all.reserve(static_cast<std::size_t>(reader.num_blocks()));
+  for (int b = 0; b < reader.num_blocks(); ++b) {
+    auto buf = reader.read_block(b);
+    all.push_back(core::BlockMesh::deserialize(buf));
+  }
+  return all;
+}
+
+std::vector<core::BlockMesh> TessReader::read_my_blocks(int rank, int size) const {
+  diy::BlockFileReader reader(path_);
+  std::vector<core::BlockMesh> mine;
+  for (int b = rank; b < reader.num_blocks(); b += size) {
+    auto buf = reader.read_block(b);
+    mine.push_back(core::BlockMesh::deserialize(buf));
+  }
+  return mine;
+}
+
+}  // namespace tess::analysis

@@ -1,0 +1,45 @@
+#include "analysis/threshold.hpp"
+
+namespace tess::analysis {
+
+std::vector<std::size_t> threshold_cells(const core::BlockMesh& mesh,
+                                         double min_volume, double max_volume) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < mesh.cells.size(); ++i) {
+    const double v = mesh.cells[i].volume;
+    if (v < min_volume) continue;
+    if (max_volume > 0.0 && v > max_volume) continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+core::BlockMesh filter_mesh(const core::BlockMesh& mesh,
+                            const std::vector<std::size_t>& cell_indices) {
+  core::BlockMesh out;
+  out.bounds = mesh.bounds;
+  // The source mesh's vertex table is already welded; keep sharing by
+  // remapping the referenced subset into a compact table.
+  std::vector<std::uint32_t> remap(mesh.vertices.size(), UINT32_MAX);
+  for (auto ci : cell_indices) {
+    const auto& c = mesh.cells[ci];
+    core::CellRecord rec = c;
+    rec.first_face = static_cast<std::uint32_t>(out.face_neighbors.size());
+    for (std::uint32_t f = c.first_face; f < c.first_face + c.num_faces; ++f) {
+      for (std::uint32_t k = mesh.face_offsets[f]; k < mesh.face_offsets[f + 1]; ++k) {
+        auto& slot = remap[mesh.face_verts[k]];
+        if (slot == UINT32_MAX) {
+          slot = static_cast<std::uint32_t>(out.vertices.size());
+          out.vertices.push_back(mesh.vertices[mesh.face_verts[k]]);
+        }
+        out.face_verts.push_back(slot);
+      }
+      out.face_offsets.push_back(static_cast<std::uint32_t>(out.face_verts.size()));
+      out.face_neighbors.push_back(mesh.face_neighbors[f]);
+    }
+    out.cells.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace tess::analysis

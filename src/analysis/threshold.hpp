@@ -1,0 +1,25 @@
+// Volume-threshold filtering of tessellation cells (paper §IV-B): voids
+// live in the long right tail of the cell-volume distribution, so culling
+// cells below a minimum volume both shrinks the data and exposes the
+// connected void structures.
+#pragma once
+
+#include <vector>
+
+#include "core/block_mesh.hpp"
+
+namespace tess::analysis {
+
+/// Cells of `mesh` whose volume lies in [min_volume, max_volume]
+/// (max_volume <= 0 means unbounded above). Returns indices into
+/// mesh.cells.
+std::vector<std::size_t> threshold_cells(const core::BlockMesh& mesh,
+                                         double min_volume,
+                                         double max_volume = 0.0);
+
+/// A new mesh containing only the selected cells (faces rebuilt, vertices
+/// re-welded).
+core::BlockMesh filter_mesh(const core::BlockMesh& mesh,
+                            const std::vector<std::size_t>& cell_indices);
+
+}  // namespace tess::analysis

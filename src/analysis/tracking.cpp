@@ -1,0 +1,56 @@
+#include "analysis/tracking.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace tess::analysis {
+
+FeatureEvents track_components(const ConnectedComponents& earlier,
+                               const ConnectedComponents& later) {
+  FeatureEvents events;
+
+  // Overlap counts keyed by (earlier label, later label).
+  std::map<std::pair<std::int64_t, std::int64_t>, std::size_t> overlap;
+  for (const auto& [site, from] : earlier.labeled_sites()) {
+    const auto to = later.label_of(site);
+    if (to >= 0) ++overlap[{from, to}];
+  }
+  for (const auto& [key, shared] : overlap)
+    events.links.push_back({key.first, key.second, shared});
+  std::sort(events.links.begin(), events.links.end(),
+            [](const FeatureLink& a, const FeatureLink& b) {
+              return a.shared_cells > b.shared_cells;
+            });
+
+  // Degree counts per side.
+  std::unordered_map<std::int64_t, int> out_degree, in_degree;
+  for (const auto& link : events.links) {
+    ++out_degree[link.from];
+    ++in_degree[link.to];
+  }
+  for (const auto& comp : earlier.components()) {
+    const auto it = out_degree.find(comp.label);
+    if (it == out_degree.end()) {
+      events.deaths.push_back(comp.label);
+    } else if (it->second >= 2) {
+      events.splits.push_back(comp.label);
+    }
+  }
+  for (const auto& comp : later.components()) {
+    const auto it = in_degree.find(comp.label);
+    if (it == in_degree.end()) {
+      events.births.push_back(comp.label);
+    } else if (it->second >= 2) {
+      events.merges.push_back(comp.label);
+    }
+  }
+  // Continuations: 1:1 links on both ends.
+  for (const auto& link : events.links)
+    if (out_degree.at(link.from) == 1 && in_degree.at(link.to) == 1)
+      ++events.continuations;
+  return events;
+}
+
+}  // namespace tess::analysis

@@ -1,0 +1,38 @@
+// Temporal feature tracking of connected components (paper §V: "we will
+// also look to tracking temporal evolution of connected components by
+// using the feature tree method of Chen et al.").
+//
+// Particle ids are stable across time steps, so a component at step t and a
+// component at step t+dt correspond when they share member cells (sites).
+// The overlap graph between consecutive labelings classifies each feature's
+// fate: continuation (1:1), merge (many:1), split (1:many), birth (no
+// predecessor), death (no successor).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/components.hpp"
+
+namespace tess::analysis {
+
+struct FeatureLink {
+  std::int64_t from = -1;  ///< component label at the earlier step
+  std::int64_t to = -1;    ///< component label at the later step
+  std::size_t shared_cells = 0;
+};
+
+struct FeatureEvents {
+  std::vector<FeatureLink> links;       ///< all overlaps, heaviest first
+  std::vector<std::int64_t> births;     ///< later labels with no predecessor
+  std::vector<std::int64_t> deaths;     ///< earlier labels with no successor
+  std::vector<std::int64_t> merges;     ///< later labels with >= 2 predecessors
+  std::vector<std::int64_t> splits;     ///< earlier labels with >= 2 successors
+  std::size_t continuations = 0;        ///< 1:1 correspondences
+};
+
+/// Build the feature-tree edges between two consecutive labelings.
+FeatureEvents track_components(const ConnectedComponents& earlier,
+                               const ConnectedComponents& later);
+
+}  // namespace tess::analysis

@@ -1,0 +1,43 @@
+// Watershed Void Finder (Platen, van de Weygaert & Jones 2007, the paper's
+// ref [7]) — the baseline void-finding technique the paper's §II describes:
+// "The procedure is analogous to filling a landscape with water, with the
+// valleys acting as voids and the ridges between valleys as filaments and
+// walls."
+//
+// Implementation on a periodic density grid (typically the DTFE field):
+// every cell descends its steepest gradient to a local minimum; the basin
+// of each minimum is one void candidate; basins whose minima exceed a
+// density threshold are discarded (they are not underdense), and adjacent
+// basins separated by ridges lower than `ridge_threshold` are merged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tess::analysis {
+
+struct WatershedOptions {
+  /// Basins whose minimum density exceeds this are not voids (<= 0: keep
+  /// all basins).
+  double min_density_threshold = 0.0;
+  /// Merge adjacent basins when the ridge between them is below this
+  /// density (<= 0: no merging).
+  double ridge_threshold = 0.0;
+};
+
+struct WatershedResult {
+  int grid = 0;
+  /// Basin (void) label per grid cell, -1 for cells in discarded basins.
+  std::vector<int> labels;
+  /// Number of surviving voids.
+  int num_voids = 0;
+  /// Cells per void, descending.
+  std::vector<std::size_t> void_sizes;
+};
+
+/// Segment a periodic grid^3 density field (x-fastest layout) into
+/// watershed basins.
+WatershedResult watershed_voids(const std::vector<double>& density, int grid,
+                                const WatershedOptions& options = {});
+
+}  // namespace tess::analysis

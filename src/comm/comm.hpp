@@ -1,0 +1,217 @@
+// Typed message-passing API with MPI-like semantics.
+//
+// A `Comm` is this library's stand-in for an MPI communicator: it exposes
+// rank/size, tagged point-to-point transfers of trivially copyable types,
+// and the small set of collectives the tessellation pipeline needs
+// (barrier, broadcast, reduce/allreduce, gather/allgather, exclusive scan).
+// Collectives are built from point-to-point messages so the algorithms
+// exercise genuine communication structure rather than shared memory.
+//
+// `Runtime::run(n, fn)` plays the role of mpiexec: it launches `fn` on `n`
+// ranks (one std::thread each) and joins them.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "comm/context.hpp"
+
+namespace tess::comm {
+
+class Comm {
+ public:
+  Comm(Context& ctx, int rank) : ctx_(&ctx), rank_(rank) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return ctx_->size(); }
+
+  /// Raw byte send; completes locally (buffered, like MPI_Bsend).
+  void send_bytes(int dest, int tag, const void* data, std::size_t bytes) {
+    check_rank(dest);
+    Message msg;
+    msg.source = rank_;
+    msg.tag = tag;
+    msg.payload.resize(bytes);
+    if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+    ctx_->add_traffic(bytes);
+    ctx_->mailbox(dest).push(std::move(msg));
+  }
+
+  /// Blocking raw receive of a message from `source` with `tag`.
+  std::vector<std::byte> recv_bytes(int source, int tag) {
+    check_rank(source);
+    return ctx_->mailbox(rank_).pop(source, tag).payload;
+  }
+
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, data.data(), data.size() * sizeof(T));
+  }
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, &value, sizeof(T));
+  }
+
+  template <typename T>
+  std::vector<T> recv(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = recv_bytes(source, tag);
+    if (bytes.size() % sizeof(T) != 0)
+      throw std::runtime_error("comm: message size not a multiple of element size");
+    std::vector<T> out(bytes.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  template <typename T>
+  T recv_value(int source, int tag) {
+    auto v = recv<T>(source, tag);
+    if (v.size() != 1) throw std::runtime_error("comm: expected single value");
+    return v[0];
+  }
+
+  void barrier() { ctx_->barrier(); }
+
+  /// Root's vector is copied to every rank.
+  template <typename T>
+  void broadcast(std::vector<T>& data, int root = 0) {
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r)
+        if (r != root) send(r, kTagBcast, data);
+    } else {
+      data = recv<T>(root, kTagBcast);
+    }
+    barrier();
+  }
+
+  /// Sum-reduce a value to `root`; other ranks return T{}.
+  template <typename T>
+  T reduce_sum(T value, int root = 0) {
+    return reduce(value, root, [](T a, T b) { return a + b; });
+  }
+
+  template <typename T>
+  T allreduce_sum(T value) {
+    return allreduce(value, [](T a, T b) { return a + b; });
+  }
+
+  template <typename T>
+  T allreduce_min(T value) {
+    return allreduce(value, [](T a, T b) { return a < b ? a : b; });
+  }
+
+  template <typename T>
+  T allreduce_max(T value) {
+    return allreduce(value, [](T a, T b) { return a > b ? a : b; });
+  }
+
+  /// Generic reduce with a binary op; result valid on root only.
+  template <typename T, typename Op>
+  T reduce(T value, int root, Op op) {
+    if (rank_ == root) {
+      T acc = value;
+      for (int r = 0; r < size(); ++r)
+        if (r != root) acc = op(acc, recv_value<T>(r, kTagReduce));
+      return acc;
+    }
+    send_value(root, kTagReduce, value);
+    return T{};
+  }
+
+  template <typename T, typename Op>
+  T allreduce(T value, Op op) {
+    T result = reduce(value, 0, op);
+    std::vector<T> box{result};
+    broadcast(box, 0);
+    return box[0];
+  }
+
+  /// Gather one value per rank to root (rank order preserved); non-roots
+  /// return an empty vector.
+  template <typename T>
+  std::vector<T> gather(const T& value, int root = 0) {
+    if (rank_ == root) {
+      std::vector<T> all(static_cast<std::size_t>(size()));
+      all[static_cast<std::size_t>(root)] = value;
+      for (int r = 0; r < size(); ++r)
+        if (r != root) all[static_cast<std::size_t>(r)] = recv_value<T>(r, kTagGather);
+      return all;
+    }
+    send_value(root, kTagGather, value);
+    return {};
+  }
+
+  template <typename T>
+  std::vector<T> allgather(const T& value) {
+    auto all = gather(value, 0);
+    broadcast(all, 0);
+    return all;
+  }
+
+  /// Gather variable-length vectors to root, concatenated in rank order.
+  template <typename T>
+  std::vector<T> gatherv(const std::vector<T>& data, int root = 0) {
+    if (rank_ == root) {
+      std::vector<T> all;
+      for (int r = 0; r < size(); ++r) {
+        if (r == root) {
+          all.insert(all.end(), data.begin(), data.end());
+        } else {
+          auto part = recv<T>(r, kTagGatherv);
+          all.insert(all.end(), part.begin(), part.end());
+        }
+      }
+      return all;
+    }
+    send(root, kTagGatherv, data);
+    return {};
+  }
+
+  /// Exclusive prefix sum across ranks: rank 0 gets T{}, rank i gets the
+  /// sum of values on ranks [0, i). Used to compute file-write offsets.
+  template <typename T>
+  T exscan_sum(T value) {
+    T prefix{};
+    if (rank_ > 0) prefix = recv_value<T>(rank_ - 1, kTagScan);
+    if (rank_ + 1 < size()) {
+      T next = prefix + value;
+      send_value(rank_ + 1, kTagScan, next);
+    }
+    barrier();
+    return prefix;
+  }
+
+  /// Total bytes sent through the runtime so far (all ranks combined).
+  [[nodiscard]] std::uint64_t traffic_bytes() const { return ctx_->traffic_bytes(); }
+
+ private:
+  void check_rank(int r) const {
+    if (r < 0 || r >= size()) throw std::out_of_range("comm: rank out of range");
+  }
+
+  // Reserved internal tags; user tags should be >= 0.
+  static constexpr int kTagBcast = -1;
+  static constexpr int kTagReduce = -2;
+  static constexpr int kTagGather = -3;
+  static constexpr int kTagGatherv = -4;
+  static constexpr int kTagScan = -5;
+
+  Context* ctx_;
+  int rank_;
+};
+
+/// Launches a fixed-size group of ranks, each on its own thread, and joins
+/// them. Exceptions thrown by any rank are captured and the first one is
+/// rethrown on the caller's thread after all ranks have exited.
+class Runtime {
+ public:
+  static void run(int nranks, const std::function<void(Comm&)>& fn);
+};
+
+}  // namespace tess::comm

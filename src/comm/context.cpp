@@ -1,0 +1,61 @@
+#include "comm/context.hpp"
+
+#include <algorithm>
+
+namespace tess::comm {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
+      return m.source == source && m.tag == tag;
+    });
+    if (it != queue_.end()) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(queue_.begin(), queue_.end(), [&](const Message& m) {
+    return m.source == source && m.tag == tag;
+  });
+}
+
+Context::Context(int size) : size_(size), mailboxes_(static_cast<std::size_t>(size)) {}
+
+void Context::barrier() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const std::uint64_t phase = barrier_phase_;
+  if (++barrier_count_ == size_) {
+    barrier_count_ = 0;
+    ++barrier_phase_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_phase_ != phase; });
+  }
+}
+
+void Context::add_traffic(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(traffic_mutex_);
+  traffic_ += bytes;
+}
+
+std::uint64_t Context::traffic_bytes() const {
+  std::lock_guard<std::mutex> lock(traffic_mutex_);
+  return traffic_;
+}
+
+}  // namespace tess::comm

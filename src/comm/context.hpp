@@ -1,0 +1,75 @@
+// Shared-process message-passing context.
+//
+// This is the substrate that stands in for MPI (see DESIGN.md §1): a fixed
+// set of ranks, each executing on its own thread, exchanging tagged byte
+// messages through per-rank mailboxes. The public typed API lives in
+// comm/comm.hpp; this header holds the untyped machinery.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace tess::comm {
+
+/// One in-flight message: source rank, user tag, raw payload.
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Blocking MPMC mailbox with (source, tag) matching semantics, i.e. the
+/// equivalent of an MPI receive queue for one rank.
+class Mailbox {
+ public:
+  void push(Message msg);
+
+  /// Block until a message with matching source and tag is available and
+  /// return it. Messages from the same source with the same tag are
+  /// delivered in send order (MPI's non-overtaking rule).
+  Message pop(int source, int tag);
+
+  /// Non-blocking probe: true if a matching message is queued.
+  bool probe(int source, int tag);
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+/// State shared by all ranks of one Runtime::run invocation.
+class Context {
+ public:
+  explicit Context(int size);
+
+  [[nodiscard]] int size() const { return size_; }
+  Mailbox& mailbox(int rank) { return mailboxes_[static_cast<std::size_t>(rank)]; }
+
+  /// Reusable rendezvous for all `size` ranks (central counter + phase flip;
+  /// correctness does not depend on std::barrier quirks).
+  void barrier();
+
+  /// Bytes pushed through mailboxes since construction (for the
+  /// communication-volume statistics the scaling benches report).
+  void add_traffic(std::size_t bytes);
+  [[nodiscard]] std::uint64_t traffic_bytes() const;
+
+ private:
+  int size_;
+  std::vector<Mailbox> mailboxes_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_phase_ = 0;
+
+  mutable std::mutex traffic_mutex_;
+  std::uint64_t traffic_ = 0;
+};
+
+}  // namespace tess::comm

@@ -1,0 +1,39 @@
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "comm/comm.hpp"
+
+namespace tess::comm {
+
+void Runtime::run(int nranks, const std::function<void(Comm&)>& fn) {
+  if (nranks <= 0) throw std::invalid_argument("Runtime::run: nranks must be > 0");
+
+  Context ctx(nranks);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  if (nranks == 1) {
+    Comm comm(ctx, 0);
+    fn(comm);
+    return;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(ctx, r);
+        fn(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tess::comm

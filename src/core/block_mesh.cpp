@@ -1,0 +1,94 @@
+#include "core/block_mesh.hpp"
+
+#include <cmath>
+
+namespace tess::core {
+
+namespace {
+// Welding quantum: Voronoi vertices computed independently from adjacent
+// cells agree to ~1e-10 relative, so a 1e-7 grid merges them while keeping
+// genuinely distinct vertices (>= particle-spacing scale apart) separate.
+constexpr double kWeldQuantum = 1e-7;
+}  // namespace
+
+std::size_t BlockMesh::KeyHash::operator()(const Key& k) const {
+  std::size_t h = static_cast<std::size_t>(k.x) * 0x9e3779b97f4a7c15ULL;
+  h ^= static_cast<std::size_t>(k.y) * 0xc2b2ae3d27d4eb4fULL + (h << 6);
+  h ^= static_cast<std::size_t>(k.z) * 0x165667b19e3779f9ULL + (h >> 2);
+  return h;
+}
+
+std::uint32_t BlockMesh::weld_vertex(const Vec3& v) {
+  const Key key{static_cast<std::int64_t>(std::llround(v.x / kWeldQuantum)),
+                static_cast<std::int64_t>(std::llround(v.y / kWeldQuantum)),
+                static_cast<std::int64_t>(std::llround(v.z / kWeldQuantum))};
+  const auto it = weld_map_.find(key);
+  if (it != weld_map_.end()) return it->second;
+  const auto idx = static_cast<std::uint32_t>(vertices.size());
+  vertices.push_back(v);
+  weld_map_.emplace(key, idx);
+  return idx;
+}
+
+void BlockMesh::add_cell(std::int64_t site_id, const geom::VoronoiCell& cell,
+                         double volume, double area) {
+  CellRecord rec;
+  rec.site_id = site_id;
+  rec.site = cell.site();
+  rec.volume = volume;
+  rec.area = area;
+  rec.first_face = static_cast<std::uint32_t>(num_faces());
+  rec.num_faces = static_cast<std::uint32_t>(cell.faces().size());
+
+  for (const auto& f : cell.faces()) {
+    for (int v : f.verts)
+      face_verts.push_back(
+          weld_vertex(cell.vertices()[static_cast<std::size_t>(v)]));
+    face_offsets.push_back(static_cast<std::uint32_t>(face_verts.size()));
+    face_neighbors.push_back(f.source);
+  }
+  cells.push_back(rec);
+}
+
+double BlockMesh::avg_faces_per_cell() const {
+  return cells.empty() ? 0.0
+                       : static_cast<double>(num_faces()) /
+                             static_cast<double>(cells.size());
+}
+
+double BlockMesh::avg_verts_per_face() const {
+  return num_faces() == 0 ? 0.0
+                          : static_cast<double>(face_verts.size()) /
+                                static_cast<double>(num_faces());
+}
+
+double BlockMesh::bytes_per_cell() const {
+  if (cells.empty()) return 0.0;
+  diy::Buffer buf;
+  serialize(buf);
+  return static_cast<double>(buf.size()) / static_cast<double>(cells.size());
+}
+
+void BlockMesh::serialize(diy::Buffer& buf) const {
+  buf.write(bounds.min);
+  buf.write(bounds.max);
+  buf.write_vector(vertices);
+  buf.write_vector(cells);
+  buf.write_vector(face_offsets);
+  buf.write_vector(face_verts);
+  buf.write_vector(face_neighbors);
+}
+
+BlockMesh BlockMesh::deserialize(diy::Buffer& buf) {
+  BlockMesh m;
+  m.bounds.min = buf.read<Vec3>();
+  m.bounds.max = buf.read<Vec3>();
+  m.vertices = buf.read_vector<Vec3>();
+  m.cells = buf.read_vector<CellRecord>();
+  m.face_offsets = buf.read_vector<std::uint32_t>();
+  m.face_verts = buf.read_vector<std::uint32_t>();
+  m.face_neighbors = buf.read_vector<std::int64_t>();
+  return m;
+}
+
+}  // namespace tess::core

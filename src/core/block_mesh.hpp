@@ -1,0 +1,80 @@
+// The per-block unstructured-mesh output data model (paper §III-C2).
+//
+// Vertices are listed once per block and shared among cells; integer
+// indices connect vertices into faces and faces into cells. Original
+// particle (site) locations, per-cell volumes and areas, per-face natural
+// neighbor ids, and the block extents are stored alongside — everything the
+// postprocessing plugin needs for thresholding, connected components, and
+// Minkowski functionals.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "diy/decomposition.hpp"
+#include "diy/serialize.hpp"
+#include "geom/vec3.hpp"
+#include "geom/voronoi_cell.hpp"
+
+namespace tess::core {
+
+using geom::Vec3;
+
+struct CellRecord {
+  std::int64_t site_id = -1;  ///< global particle id of the cell's site
+  Vec3 site;                  ///< particle position
+  double volume = 0.0;
+  double area = 0.0;
+  std::uint32_t first_face = 0;  ///< index into face arrays
+  std::uint32_t num_faces = 0;
+};
+
+/// One block of the tessellation. Faces are stored structure-of-arrays:
+/// face f spans face_verts[face_offsets[f] .. face_offsets[f+1]) and its
+/// natural neighbor (the particle whose bisector generated it) is
+/// face_neighbors[f].
+class BlockMesh {
+ public:
+  diy::Bounds bounds{};
+  std::vector<Vec3> vertices;
+  std::vector<CellRecord> cells;
+  std::vector<std::uint32_t> face_offsets;  ///< size = num_faces + 1
+  std::vector<std::uint32_t> face_verts;
+  std::vector<std::int64_t> face_neighbors;
+
+  BlockMesh() { face_offsets.push_back(0); }
+
+  [[nodiscard]] std::size_t num_cells() const { return cells.size(); }
+  [[nodiscard]] std::size_t num_faces() const { return face_neighbors.size(); }
+
+  /// Append a compacted Voronoi cell. Vertices are welded against the
+  /// block's existing vertices so shared Voronoi vertices are listed once.
+  void add_cell(std::int64_t site_id, const geom::VoronoiCell& cell,
+                double volume, double area);
+
+  /// Average faces per cell / vertices per face (paper's data-model stats).
+  [[nodiscard]] double avg_faces_per_cell() const;
+  [[nodiscard]] double avg_verts_per_face() const;
+  /// Serialized size in bytes per cell (the paper reports ~450 B/particle
+  /// for full tessellations and ~100 B after culling).
+  [[nodiscard]] double bytes_per_cell() const;
+
+  void serialize(diy::Buffer& buf) const;
+  static BlockMesh deserialize(diy::Buffer& buf);
+
+ private:
+  [[nodiscard]] std::uint32_t weld_vertex(const Vec3& v);
+
+  // Spatial hash for vertex welding (quantized coordinates -> vertex index).
+  struct Key {
+    std::int64_t x, y, z;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  std::unordered_map<Key, std::uint32_t, KeyHash> weld_map_;
+};
+
+}  // namespace tess::core

@@ -1,0 +1,46 @@
+// Tessellation options, mirroring the knobs described in the paper:
+// ghost-zone thickness (user-provided, §IV-A), the minimum-volume threshold
+// with conservative early culling (§III-C), and the per-cell convex-hull
+// pass that orders vertices into faces and computes volume/area (§III-C).
+#pragma once
+
+namespace tess::core {
+
+struct TessOptions {
+  /// Ghost-zone thickness in domain units. The paper finds ~4x the typical
+  /// particle spacing gives 100% parallel accuracy; too small a value
+  /// produces wrong cells at block boundaries (Table I).
+  double ghost = 4.0;
+
+  /// Cells whose volume falls below this are culled (<= 0 disables). The
+  /// paper typically culls the smallest 10% of the volume range.
+  double min_volume = 0.0;
+
+  /// Cells whose volume exceeds this are culled (<= 0 disables; the paper's
+  /// plugin supports a [min, max] threshold range).
+  double max_volume = 0.0;
+
+  /// Conservative pre-hull culling: drop a cell early when the largest
+  /// vertex separation is smaller than the diameter of the sphere whose
+  /// volume is `min_volume`, which proves the cell is below threshold.
+  bool early_cull = true;
+
+  /// Re-derive each kept cell's volume and area from the convex hull of its
+  /// Voronoi vertices (the paper's Qhull step). The clipped polyhedron
+  /// already carries ordered faces, so this is a verification/compat pass;
+  /// the ablation bench quantifies its cost.
+  bool hull_pass = false;
+
+  /// Automatic ghost-size determination (the paper's §V future work).
+  /// When enabled, `ghost` is only the starting guess: the tessellation is
+  /// repeated with a doubled ghost zone until every cell is complete AND
+  /// certified by the security radius (2 * max vertex distance <= ghost),
+  /// at which point the result is provably identical to the serial one.
+  bool auto_ghost = false;
+
+  /// Upper bound for auto_ghost doubling, as a fraction of the shortest
+  /// domain side (safety stop; 0.5 covers any cell in a periodic domain).
+  double auto_ghost_max_fraction = 0.5;
+};
+
+}  // namespace tess::core

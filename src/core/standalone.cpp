@@ -1,0 +1,38 @@
+#include "core/standalone.hpp"
+
+#include "diy/exchange.hpp"
+
+namespace tess::core {
+
+BlockMesh standalone_tessellate(comm::Comm& comm, const diy::Decomposition& decomp,
+                                std::vector<diy::Particle> particles,
+                                const TessOptions& options, TessStats* stats) {
+  auto mine = diy::migrate_items(
+      comm, decomp, std::move(particles),
+      [](diy::Particle& p) -> geom::Vec3& { return p.pos; });
+  Tessellator t(comm, decomp, options);
+  auto mesh = t.tessellate(mine);
+  if (stats) *stats = t.stats();
+  return mesh;
+}
+
+std::vector<BlockMesh> gather_meshes(comm::Comm& comm, const BlockMesh& mesh) {
+  diy::Buffer buf;
+  mesh.serialize(buf);
+  // Gather serialized sizes, then bytes, preserving rank order.
+  const auto bytes = comm.gatherv(buf.data());
+  const auto sizes = comm.gather<std::uint64_t>(buf.size(), 0);
+  std::vector<BlockMesh> all;
+  if (comm.rank() == 0) {
+    std::size_t off = 0;
+    for (auto s : sizes) {
+      diy::Buffer b(std::vector<std::byte>(bytes.begin() + static_cast<std::ptrdiff_t>(off),
+                                           bytes.begin() + static_cast<std::ptrdiff_t>(off + s)));
+      all.push_back(BlockMesh::deserialize(b));
+      off += s;
+    }
+  }
+  return all;
+}
+
+}  // namespace tess::core

@@ -1,0 +1,25 @@
+// Standalone-mode entry points (the paper's tess supports both in situ and
+// standalone operation): tessellate an arbitrary particle set without a
+// simulation attached, and gather per-block meshes for in-process analysis.
+#pragma once
+
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/tessellator.hpp"
+
+namespace tess::core {
+
+/// Scatter a global particle set (supplied on rank 0; other ranks pass an
+/// empty vector) to its owning blocks and tessellate. Collective. Returns
+/// this rank's block mesh; per-rank stats are written to `stats` if given.
+BlockMesh standalone_tessellate(comm::Comm& comm, const diy::Decomposition& decomp,
+                                std::vector<diy::Particle> particles,
+                                const TessOptions& options,
+                                TessStats* stats = nullptr);
+
+/// Gather every rank's mesh to rank 0 (block order preserved); other ranks
+/// receive an empty vector. Collective.
+std::vector<BlockMesh> gather_meshes(comm::Comm& comm, const BlockMesh& mesh);
+
+}  // namespace tess::core

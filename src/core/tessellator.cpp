@@ -1,0 +1,176 @@
+#include "core/tessellator.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "diy/blockio.hpp"
+#include "geom/cell_builder.hpp"
+#include "geom/convex_hull.hpp"
+
+namespace tess::core {
+
+Tessellator::Tessellator(comm::Comm& comm, const diy::Decomposition& decomp,
+                         const TessOptions& options)
+    : comm_(&comm), decomp_(&decomp), options_(options), exchanger_(comm, decomp) {}
+
+BlockMesh Tessellator::tessellate(const std::vector<diy::Particle>& mine) {
+  stats_ = TessStats{};
+  stats_.local_particles = mine.size();
+
+  if (!options_.auto_ghost) {
+    stats_.ghost_used = options_.ghost;
+    return tessellate_once(mine, options_.ghost);
+  }
+
+  // Automatic ghost-size determination (paper §V future work): repeat with
+  // a doubled ghost zone until every cell is both complete and certified by
+  // its security radius — at that point no particle outside the ghost zone
+  // could have altered any cell, so the result equals the serial one.
+  const geom::Vec3 dsize = decomp_->domain_size();
+  const double ghost_cap =
+      options_.auto_ghost_max_fraction * std::min({dsize.x, dsize.y, dsize.z});
+  double ghost = std::min(std::max(options_.ghost, 1e-12), ghost_cap);
+  BlockMesh mesh;
+  for (int iteration = 1;; ++iteration) {
+    const auto saved = stats_;
+    stats_ = TessStats{};
+    stats_.local_particles = mine.size();
+    mesh = tessellate_once(mine, ghost);
+    stats_.exchange_seconds += saved.exchange_seconds;
+    stats_.compute_seconds += saved.compute_seconds;
+    stats_.auto_iterations = iteration;
+    stats_.ghost_used = ghost;
+
+    // Incomplete cells only count against certification when the domain is
+    // periodic (in open domains, hull cells are unbounded and are dropped
+    // exactly as in fixed-ghost mode).
+    std::size_t unresolved = stats_.cells_uncertified;
+    if (decomp_->periodic()) unresolved += stats_.cells_incomplete;
+    const auto total = comm_->allreduce_sum(unresolved);
+    if (total == 0 || ghost >= ghost_cap) break;
+    ghost = std::min(2.0 * ghost, ghost_cap);
+  }
+  return mesh;
+}
+
+BlockMesh Tessellator::tessellate_once(const std::vector<diy::Particle>& mine,
+                                       double ghost) {
+  // Thread CPU time: models this rank's own work even when thread-ranks
+  // oversubscribe the host cores (see util/timer.hpp).
+  util::ThreadCpuTimer timer;
+
+  // 1. Ghost-zone neighbor exchange.
+  timer.start();
+  const auto ghosts = exchanger_.exchange_ghost(mine, ghost);
+  timer.stop();
+  stats_.exchange_seconds = timer.seconds();
+  stats_.ghost_received = ghosts.size();
+  stats_.ghost_sent = exchanger_.last_sent();
+
+  // 2-4. Local Voronoi computation and culling.
+  timer.reset();
+  timer.start();
+  const auto bounds = exchanger_.my_bounds();
+  const auto seed = bounds.grown(ghost);
+
+  std::vector<geom::Vec3> pts;
+  std::vector<std::int64_t> ids;
+  pts.reserve(mine.size() + ghosts.size());
+  ids.reserve(mine.size() + ghosts.size());
+  for (const auto& p : mine) {
+    pts.push_back(p.pos);
+    ids.push_back(p.id);
+  }
+  for (const auto& g : ghosts) {
+    pts.push_back(g.pos);
+    ids.push_back(g.id);
+  }
+  geom::CellBuilder builder(std::move(pts), std::move(ids), seed.min, seed.max);
+
+  // Early-cull bound: a cell whose largest vertex separation is below the
+  // diameter of the sphere of volume `min_volume` cannot reach the
+  // threshold volume.
+  double early_diam2 = 0.0;
+  if (options_.min_volume > 0.0 && options_.early_cull) {
+    const double r = std::cbrt(options_.min_volume * 3.0 / (4.0 * std::numbers::pi));
+    early_diam2 = 4.0 * r * r;
+  }
+
+  BlockMesh mesh;
+  mesh.bounds = bounds;
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    auto cell = builder.build(static_cast<int>(i), seed.min, seed.max);
+    if (!cell.complete()) {
+      ++stats_.cells_incomplete;
+      continue;
+    }
+    // Security-radius certificate: every potential cutter of this cell lies
+    // within 2*Rmax of the site; if that ball fits inside the ghost-grown
+    // region, the cell is provably exact.
+    if (4.0 * cell.max_radius2() > ghost * ghost) ++stats_.cells_uncertified;
+    if (early_diam2 > 0.0 && cell.max_vertex_separation2() < early_diam2) {
+      ++stats_.cells_culled_early;
+      continue;
+    }
+    cell.compact();
+
+    double volume = cell.volume();
+    double area = cell.area();
+    if (options_.hull_pass) {
+      // Paper-faithful step: order the cell's vertices into faces via the
+      // convex hull and take volume/area from it.
+      const auto hull = geom::convex_hull(cell.vertices());
+      if (!hull.degenerate) {
+        volume = hull.volume;
+        area = hull.area;
+      }
+    }
+    if (options_.min_volume > 0.0 && volume < options_.min_volume) {
+      ++stats_.cells_culled_volume;
+      continue;
+    }
+    if (options_.max_volume > 0.0 && volume > options_.max_volume) {
+      ++stats_.cells_culled_volume;
+      continue;
+    }
+    mesh.add_cell(mine[i].id, cell, volume, area);
+    ++stats_.cells_kept;
+  }
+  timer.stop();
+  stats_.compute_seconds = timer.seconds();
+  return mesh;
+}
+
+std::uint64_t Tessellator::write(const std::string& path, const BlockMesh& mesh) {
+  util::ThreadCpuTimer timer;
+  timer.start();
+  diy::Buffer buf;
+  mesh.serialize(buf);
+  const auto total = diy::write_blocks(*comm_, path, buf);
+  timer.stop();
+  stats_.output_seconds += timer.seconds();
+  stats_.output_bytes = total;
+  return total;
+}
+
+TessStats Tessellator::reduced_stats() const {
+  TessStats r = stats_;
+  // Times: max across ranks (critical path); counters: sums.
+  r.exchange_seconds = comm_->allreduce_max(stats_.exchange_seconds);
+  r.compute_seconds = comm_->allreduce_max(stats_.compute_seconds);
+  r.output_seconds = comm_->allreduce_max(stats_.output_seconds);
+  r.local_particles = comm_->allreduce_sum(stats_.local_particles);
+  r.ghost_received = comm_->allreduce_sum(stats_.ghost_received);
+  r.ghost_sent = comm_->allreduce_sum(stats_.ghost_sent);
+  r.cells_kept = comm_->allreduce_sum(stats_.cells_kept);
+  r.cells_incomplete = comm_->allreduce_sum(stats_.cells_incomplete);
+  r.cells_culled_early = comm_->allreduce_sum(stats_.cells_culled_early);
+  r.cells_culled_volume = comm_->allreduce_sum(stats_.cells_culled_volume);
+  r.output_bytes = stats_.output_bytes;  // already global (file size)
+  r.ghost_used = comm_->allreduce_max(stats_.ghost_used);
+  r.auto_iterations = comm_->allreduce_max(stats_.auto_iterations);
+  r.cells_uncertified = comm_->allreduce_sum(stats_.cells_uncertified);
+  return r;
+}
+
+}  // namespace tess::core

@@ -1,0 +1,96 @@
+// The parallel Voronoi tessellation pipeline — the paper's contribution.
+//
+// Per block (paper Figure 5):
+//   1. bidirectional ghost-zone particle exchange with neighbors, including
+//      periodic-boundary translation and target-point destination selection;
+//   2. local Voronoi cell computation for the block's original particles
+//      against originals + ghosts (ghost-sited cells are never emitted,
+//      which resolves the duplicate cells the bidirectional exchange would
+//      otherwise produce — each cell is kept only by the block that owns
+//      its site);
+//   3. incomplete cells (still touching the ghost-grown seed box, i.e. not
+//      closed off by particles) are deleted;
+//   4. conservative early volume culling, vertex ordering / volume / area
+//      (optionally via the convex-hull pass), final threshold culling;
+//   5. parallel write of the per-block unstructured meshes to one file.
+//
+// Timings are broken down exactly as in the paper's Table II: particle
+// exchange, Voronoi computation, and output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/block_mesh.hpp"
+#include "core/options.hpp"
+#include "diy/decomposition.hpp"
+#include "diy/exchange.hpp"
+#include "diy/particle.hpp"
+#include "util/timer.hpp"
+
+namespace tess::core {
+
+struct TessStats {
+  double exchange_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double output_seconds = 0.0;
+  [[nodiscard]] double total_seconds() const {
+    return exchange_seconds + compute_seconds + output_seconds;
+  }
+
+  std::size_t local_particles = 0;
+  std::size_t ghost_received = 0;
+  std::size_t ghost_sent = 0;
+  std::size_t cells_kept = 0;
+  std::size_t cells_incomplete = 0;
+  std::size_t cells_culled_early = 0;   ///< culled by the circumsphere bound
+  std::size_t cells_culled_volume = 0;  ///< culled after exact volume
+  std::uint64_t output_bytes = 0;
+
+  /// Ghost size actually used (grows beyond options.ghost in auto mode).
+  double ghost_used = 0.0;
+  /// Number of tessellation passes auto_ghost needed (1 when disabled).
+  int auto_iterations = 1;
+  /// Cells whose security radius was not covered by the ghost zone in the
+  /// final pass (0 means the result is certified exact).
+  std::size_t cells_uncertified = 0;
+};
+
+class Tessellator {
+ public:
+  /// One block per rank; `decomp` must have comm.size() blocks.
+  Tessellator(comm::Comm& comm, const diy::Decomposition& decomp,
+              const TessOptions& options);
+
+  /// Compute this block's tessellation from its original particles (which
+  /// must lie inside the block's bounds). Collective. The returned mesh
+  /// contains only complete, threshold-surviving cells sited at original
+  /// particles.
+  BlockMesh tessellate(const std::vector<diy::Particle>& mine);
+
+  /// Parallel write of this rank's mesh to one shared file. Collective.
+  /// Returns total file bytes; accumulates the output timing into stats().
+  std::uint64_t write(const std::string& path, const BlockMesh& mesh);
+
+  /// Statistics for the last tessellate()/write() calls on this rank.
+  [[nodiscard]] const TessStats& stats() const { return stats_; }
+
+  /// Element-wise max/sum of stats across ranks (for Table II-style
+  /// reporting). Collective; valid on every rank.
+  [[nodiscard]] TessStats reduced_stats() const;
+
+  [[nodiscard]] const TessOptions& options() const { return options_; }
+
+ private:
+  BlockMesh tessellate_once(const std::vector<diy::Particle>& mine, double ghost);
+
+  comm::Comm* comm_;
+  const diy::Decomposition* decomp_;
+  TessOptions options_;
+  diy::Exchanger exchanger_;
+  TessStats stats_;
+};
+
+}  // namespace tess::core

@@ -1,0 +1,144 @@
+#include "diy/blockio.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace tess::diy {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+void pwrite_all(int fd, const void* data, std::size_t bytes, std::uint64_t offset,
+                const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::pwrite(fd, p, bytes, static_cast<off_t>(offset));
+    if (n < 0) fail("pwrite", path);
+    p += n;
+    offset += static_cast<std::uint64_t>(n);
+    bytes -= static_cast<std::size_t>(n);
+  }
+}
+
+void pread_all(int fd, void* data, std::size_t bytes, std::uint64_t offset,
+               const std::string& path) {
+  char* p = static_cast<char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::pread(fd, p, bytes, static_cast<off_t>(offset));
+    if (n <= 0) fail("pread", path);
+    p += n;
+    offset += static_cast<std::uint64_t>(n);
+    bytes -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::uint64_t write_blocks(comm::Comm& comm, const std::string& path,
+                           const Buffer& block) {
+  // Rank 0 creates/truncates the file before anyone writes into it.
+  if (comm.rank() == 0) {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) fail("create", path);
+    ::close(fd);
+  }
+  comm.barrier();
+
+  // Header is just the magic; data blocks follow back to back.
+  const std::uint64_t header = sizeof(std::uint64_t);
+  const auto my_size = static_cast<std::uint64_t>(block.size());
+  const std::uint64_t my_offset = header + comm.exscan_sum(my_size);
+
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) fail("open", path);
+  if (!block.data().empty())
+    pwrite_all(fd, block.data().data(), block.size(), my_offset, path);
+
+  // Footer: per-block (offset, size) gathered in rank order, then the
+  // footer offset and the magic, written by rank 0 once all data is down.
+  const auto offsets = comm.gather(my_offset, 0);
+  const auto sizes = comm.gather(my_size, 0);
+  std::uint64_t total = 0;
+  if (comm.rank() == 0) {
+    pwrite_all(fd, &kBlockFileMagic, sizeof(kBlockFileMagic), 0, path);
+    std::uint64_t footer_off = header;
+    for (auto s : sizes) footer_off += s;
+    Buffer footer;
+    footer.write<std::uint64_t>(static_cast<std::uint64_t>(comm.size()));
+    for (int r = 0; r < comm.size(); ++r) {
+      footer.write<std::uint64_t>(offsets[static_cast<std::size_t>(r)]);
+      footer.write<std::uint64_t>(sizes[static_cast<std::size_t>(r)]);
+    }
+    footer.write<std::uint64_t>(footer_off);
+    footer.write<std::uint64_t>(kBlockFileMagic);
+    pwrite_all(fd, footer.data().data(), footer.size(), footer_off, path);
+    total = footer_off + footer.size();
+  }
+  ::close(fd);
+  comm.barrier();
+  std::vector<std::uint64_t> box{total};
+  comm.broadcast(box, 0);
+  return box[0];
+}
+
+BlockFileReader::BlockFileReader(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail("open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail("stat", path);
+  }
+  file_size_ = static_cast<std::uint64_t>(st.st_size);
+  if (file_size_ < 4 * sizeof(std::uint64_t)) {
+    ::close(fd);
+    throw std::runtime_error("block file too small: " + path);
+  }
+
+  std::uint64_t trailer[2];
+  pread_all(fd, trailer, sizeof(trailer), file_size_ - sizeof(trailer), path);
+  std::uint64_t head_magic = 0;
+  pread_all(fd, &head_magic, sizeof(head_magic), 0, path);
+  if (trailer[1] != kBlockFileMagic || head_magic != kBlockFileMagic) {
+    ::close(fd);
+    throw std::runtime_error("not a tess block file: " + path);
+  }
+  const std::uint64_t footer_off = trailer[0];
+
+  std::uint64_t nblocks = 0;
+  pread_all(fd, &nblocks, sizeof(nblocks), footer_off, path);
+  offsets_.resize(nblocks);
+  sizes_.resize(nblocks);
+  std::vector<std::uint64_t> entries(2 * nblocks);
+  if (nblocks > 0)
+    pread_all(fd, entries.data(), entries.size() * sizeof(std::uint64_t),
+              footer_off + sizeof(std::uint64_t), path);
+  for (std::uint64_t b = 0; b < nblocks; ++b) {
+    offsets_[b] = entries[2 * b];
+    sizes_[b] = entries[2 * b + 1];
+  }
+  ::close(fd);
+}
+
+Buffer BlockFileReader::read_block(int block) const {
+  if (block < 0 || block >= num_blocks())
+    throw std::out_of_range("BlockFileReader: block index");
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) fail("open", path_);
+  std::vector<std::byte> bytes(sizes_[static_cast<std::size_t>(block)]);
+  if (!bytes.empty())
+    pread_all(fd, bytes.data(), bytes.size(), offsets_[static_cast<std::size_t>(block)],
+              path_);
+  ::close(fd);
+  return Buffer(std::move(bytes));
+}
+
+}  // namespace tess::diy

@@ -1,0 +1,51 @@
+// Parallel blocked-file I/O, modeled on DIY's single-shared-file format.
+//
+// Write path (collective): each rank serializes its block, an exclusive
+// scan of the block sizes yields each rank's byte offset, all ranks pwrite
+// concurrently into one file, and rank 0 appends a footer index (per-block
+// offset + size) plus a trailer pointing at the footer. This is the same
+// algorithm the paper's tess uses against GPFS, executed against POSIX.
+//
+// Read path: any process can open the file, read the footer, and fetch an
+// arbitrary subset of blocks — which is what the postprocessing tools (the
+// "ParaView plugin" equivalent) do.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "diy/serialize.hpp"
+
+namespace tess::diy {
+
+inline constexpr std::uint64_t kBlockFileMagic = 0x54455353424c4b31ULL;  // "TESSBLK1"
+
+/// Collective write: rank r contributes `block` as block r of `nranks`.
+/// Returns the total file size in bytes (valid on every rank).
+std::uint64_t write_blocks(comm::Comm& comm, const std::string& path,
+                           const Buffer& block);
+
+/// Reader for a blocked file; not collective.
+class BlockFileReader {
+ public:
+  explicit BlockFileReader(const std::string& path);
+
+  [[nodiscard]] int num_blocks() const { return static_cast<int>(sizes_.size()); }
+  [[nodiscard]] std::uint64_t block_size(int block) const {
+    return sizes_[static_cast<std::size_t>(block)];
+  }
+  [[nodiscard]] std::uint64_t file_size() const { return file_size_; }
+
+  /// Read one block's bytes into a Buffer positioned at the start.
+  [[nodiscard]] Buffer read_block(int block) const;
+
+ private:
+  std::string path_;
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint64_t> sizes_;
+  std::uint64_t file_size_ = 0;
+};
+
+}  // namespace tess::diy

@@ -1,0 +1,131 @@
+#include "diy/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tess::diy {
+
+double Bounds::distance(const Vec3& p) const {
+  double d2 = 0.0;
+  for (std::size_t a = 0; a < 3; ++a) {
+    double d = 0.0;
+    if (p[a] < min[a]) d = min[a] - p[a];
+    if (p[a] > max[a]) d = p[a] - max[a];
+    d2 += d * d;
+  }
+  return std::sqrt(d2);
+}
+
+Decomposition::Decomposition(const Vec3& domain_min, const Vec3& domain_max,
+                             const std::array<int, 3>& blocks_per_dim,
+                             bool periodic)
+    : domain_min_(domain_min), domain_max_(domain_max), dims_(blocks_per_dim),
+      periodic_(periodic) {
+  for (int d : dims_)
+    if (d < 1) throw std::invalid_argument("Decomposition: dims must be >= 1");
+  for (std::size_t a = 0; a < 3; ++a)
+    if (!(domain_max_[a] > domain_min_[a]))
+      throw std::invalid_argument("Decomposition: empty domain");
+}
+
+std::array<int, 3> Decomposition::factor(int nblocks) {
+  if (nblocks < 1) throw std::invalid_argument("factor: nblocks must be >= 1");
+  // Greedy: repeatedly split off the largest prime factor onto the axis
+  // with the smallest current extent, yielding a near-cubic grid.
+  std::array<int, 3> dims{1, 1, 1};
+  int n = nblocks;
+  for (int f = 2; f * f <= n;) {
+    if (n % f == 0) {
+      auto it = std::min_element(dims.begin(), dims.end());
+      *it *= f;
+      n /= f;
+    } else {
+      ++f;
+    }
+  }
+  if (n > 1) {
+    auto it = std::min_element(dims.begin(), dims.end());
+    *it *= n;
+  }
+  std::sort(dims.begin(), dims.end());
+  return dims;
+}
+
+Bounds Decomposition::block_bounds(int block) const {
+  const auto c = block_coords(block);
+  const Vec3 size = domain_size();
+  Bounds b;
+  for (std::size_t a = 0; a < 3; ++a) {
+    const double w = size[a] / dims_[a];
+    b.min[a] = domain_min_[a] + w * c[a];
+    b.max[a] = (c[a] + 1 == dims_[a]) ? domain_max_[a] : domain_min_[a] + w * (c[a] + 1);
+  }
+  return b;
+}
+
+std::array<int, 3> Decomposition::block_coords(int block) const {
+  if (block < 0 || block >= num_blocks())
+    throw std::out_of_range("Decomposition: block index");
+  return {block % dims_[0], (block / dims_[0]) % dims_[1],
+          block / (dims_[0] * dims_[1])};
+}
+
+int Decomposition::block_index(const std::array<int, 3>& c) const {
+  return (c[2] * dims_[1] + c[1]) * dims_[0] + c[0];
+}
+
+Vec3 Decomposition::wrap(const Vec3& p) const {
+  if (!periodic_) return p;
+  Vec3 q = p;
+  const Vec3 size = domain_size();
+  for (std::size_t a = 0; a < 3; ++a) {
+    while (q[a] < domain_min_[a]) q[a] += size[a];
+    while (q[a] >= domain_max_[a]) q[a] -= size[a];
+  }
+  return q;
+}
+
+int Decomposition::block_of_point(const Vec3& p) const {
+  const Vec3 q = wrap(p);
+  const Vec3 size = domain_size();
+  std::array<int, 3> c{};
+  for (std::size_t a = 0; a < 3; ++a) {
+    const double rel = (q[a] - domain_min_[a]) / size[a] * dims_[a];
+    c[a] = std::clamp(static_cast<int>(rel), 0, dims_[a] - 1);
+  }
+  return block_index(c);
+}
+
+std::vector<Neighbor> Decomposition::neighbors(int block) const {
+  const auto c = block_coords(block);
+  const Vec3 size = domain_size();
+  std::vector<Neighbor> out;
+  for (int dz = -1; dz <= 1; ++dz)
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        std::array<int, 3> nc{c[0] + dx, c[1] + dy, c[2] + dz};
+        Vec3 shift{};
+        bool valid = true;
+        for (std::size_t a = 0; a < 3; ++a) {
+          if (nc[a] < 0) {
+            if (!periodic_) { valid = false; break; }
+            nc[a] += dims_[a];
+            // A point sent to this neighbor crosses the low domain face, so
+            // it reappears near the high face: translate by +size.
+            shift[a] += size[a];
+          } else if (nc[a] >= dims_[a]) {
+            if (!periodic_) { valid = false; break; }
+            nc[a] -= dims_[a];
+            shift[a] -= size[a];
+          }
+        }
+        if (!valid) continue;
+        const Neighbor nb{block_index(nc), shift};
+        if (std::find(out.begin(), out.end(), nb) == out.end()) out.push_back(nb);
+      }
+  return out;
+}
+
+}  // namespace tess::diy

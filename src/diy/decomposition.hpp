@@ -1,0 +1,91 @@
+// Regular block decomposition of a 3D domain with 26-connectivity and
+// periodic boundary neighbors.
+//
+// This mirrors the role DIY plays for tess in the paper: the simulation
+// hands the analysis its block decomposition and neighborhood connectivity,
+// and the exchange layer moves particles between neighboring blocks. The
+// two features the paper added to DIY — periodic boundary neighbors with a
+// coordinate transform, and destination selection by proximity to a target
+// point — live here and in exchange.hpp.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace tess::diy {
+
+using geom::Vec3;
+
+/// Axis-aligned block bounds [min, max).
+struct Bounds {
+  Vec3 min, max;
+
+  [[nodiscard]] bool contains(const Vec3& p) const {
+    return p.x >= min.x && p.x < max.x && p.y >= min.y && p.y < max.y &&
+           p.z >= min.z && p.z < max.z;
+  }
+  /// Euclidean distance from p to the closed box (0 if inside).
+  [[nodiscard]] double distance(const Vec3& p) const;
+  [[nodiscard]] Bounds grown(double t) const {
+    return {min - Vec3{t, t, t}, max + Vec3{t, t, t}};
+  }
+};
+
+/// One neighbor relationship. `shift` is the translation to apply to a
+/// point when sending it to this neighbor across a periodic boundary (zero
+/// for ordinary neighbors) — the "user-specified transformation" callback
+/// the paper added to DIY, made concrete.
+struct Neighbor {
+  int block = -1;
+  Vec3 shift{};
+
+  bool operator==(const Neighbor& o) const {
+    return block == o.block && shift == o.shift;
+  }
+};
+
+/// Regular decomposition of [domain_min, domain_max) into bx*by*bz blocks.
+class Decomposition {
+ public:
+  Decomposition(const Vec3& domain_min, const Vec3& domain_max,
+                const std::array<int, 3>& blocks_per_dim, bool periodic);
+
+  /// Near-cubic factorization of `nblocks` used when the caller only knows
+  /// the total count (one block per rank).
+  static std::array<int, 3> factor(int nblocks);
+
+  [[nodiscard]] int num_blocks() const {
+    return dims_[0] * dims_[1] * dims_[2];
+  }
+  [[nodiscard]] const std::array<int, 3>& dims() const { return dims_; }
+  [[nodiscard]] bool periodic() const { return periodic_; }
+  [[nodiscard]] const Vec3& domain_min() const { return domain_min_; }
+  [[nodiscard]] const Vec3& domain_max() const { return domain_max_; }
+  [[nodiscard]] Vec3 domain_size() const { return domain_max_ - domain_min_; }
+
+  [[nodiscard]] Bounds block_bounds(int block) const;
+  [[nodiscard]] std::array<int, 3> block_coords(int block) const;
+  [[nodiscard]] int block_index(const std::array<int, 3>& c) const;
+
+  /// The block containing p (p is wrapped into the domain when periodic,
+  /// clamped otherwise).
+  [[nodiscard]] int block_of_point(const Vec3& p) const;
+
+  /// All distinct neighbor relationships of `block` (up to 26, fewer at
+  /// non-periodic domain edges; periodic neighbors carry nonzero shifts;
+  /// with very few blocks per dimension the same block can appear multiple
+  /// times under different shifts, including itself).
+  [[nodiscard]] std::vector<Neighbor> neighbors(int block) const;
+
+  /// Wrap a point into the primary domain (no-op when not periodic).
+  [[nodiscard]] Vec3 wrap(const Vec3& p) const;
+
+ private:
+  Vec3 domain_min_, domain_max_;
+  std::array<int, 3> dims_;
+  bool periodic_;
+};
+
+}  // namespace tess::diy

@@ -1,0 +1,61 @@
+#include "diy/exchange.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace tess::diy {
+
+Exchanger::Exchanger(comm::Comm& comm, const Decomposition& decomp)
+    : comm_(&comm), decomp_(&decomp) {
+  if (decomp.num_blocks() != comm.size())
+    throw std::invalid_argument(
+        "Exchanger: one block per rank required (num_blocks != comm size)");
+}
+
+std::vector<Particle> Exchanger::exchange_ghost(const std::vector<Particle>& mine,
+                                                double ghost) {
+  const auto nbrs = decomp_->neighbors(my_block());
+
+  // Target-point destination selection: particle p goes to neighbor n iff
+  // its (periodically shifted) image lies within the ghost distance of n's
+  // block. Outgoing particles are grouped per destination *block* so each
+  // pair of ranks exchanges exactly one message.
+  std::map<int, std::vector<Particle>> outgoing;  // ordered for determinism
+  std::vector<Particle> self_images;
+  for (const auto& nb : nbrs) outgoing[nb.block];  // ensure symmetric message set
+  outgoing.erase(my_block());
+
+  last_sent_ = 0;
+  for (const auto& p : mine) {
+    for (const auto& nb : nbrs) {
+      const Particle img{p.pos + nb.shift, p.id};
+      if (decomp_->block_bounds(nb.block).distance(img.pos) <= ghost) {
+        if (nb.block == my_block()) {
+          // Wrap-around image of this block onto itself (tiny decompositions).
+          self_images.push_back(img);
+        } else {
+          outgoing[nb.block].push_back(img);
+          ++last_sent_;
+        }
+      }
+    }
+  }
+
+  for (auto& [dest, parts] : outgoing) comm_->send(dest, kTagGhost, parts);
+
+  std::vector<Particle> ghosts = std::move(self_images);
+  for (const auto& [src, parts] : outgoing) {
+    (void)parts;
+    auto in = comm_->recv<Particle>(src, kTagGhost);
+    ghosts.insert(ghosts.end(), in.begin(), in.end());
+  }
+  return ghosts;
+}
+
+std::vector<Particle> Exchanger::migrate(std::vector<Particle> mine) {
+  return migrate_items(*comm_, *decomp_, std::move(mine),
+                       [](Particle& p) -> geom::Vec3& { return p.pos; },
+                       kTagMigrate);
+}
+
+}  // namespace tess::diy

@@ -1,0 +1,84 @@
+// Neighborhood particle exchange between blocks.
+//
+// Implements the paper's two DIY additions (§III-C1):
+//  * periodic boundary neighbors — particles sent across the domain edge
+//    are translated by the decomposition's periodic shift, and
+//  * targeted particle exchange — a particle is sent only to the neighbors
+//    whose blocks lie within the ghost distance of it.
+// Also provides particle migration (used by the simulation when particles
+// drift out of their block between time steps).
+#pragma once
+
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "diy/decomposition.hpp"
+#include "diy/particle.hpp"
+
+namespace tess::diy {
+
+/// Generic migration: wrap each item's position into the domain and deliver it
+/// to the rank whose block contains it (one block per rank). `pos_of` maps
+/// an item to a mutable reference to its position. Collective.
+template <typename T, typename PosFn>
+std::vector<T> migrate_items(comm::Comm& comm, const Decomposition& decomp,
+                             std::vector<T> items, PosFn pos_of,
+                             int tag = 102) {
+  const int n = comm.size();
+  const int me = comm.rank();
+  std::vector<std::vector<T>> buckets(static_cast<std::size_t>(n));
+  std::vector<T> kept;
+  for (auto& item : items) {
+    auto& pos = pos_of(item);
+    pos = decomp.wrap(pos);
+    const int dest = decomp.block_of_point(pos);
+    if (dest == me) {
+      kept.push_back(item);
+    } else {
+      buckets[static_cast<std::size_t>(dest)].push_back(item);
+    }
+  }
+  for (int r = 0; r < n; ++r)
+    if (r != me) comm.send(r, tag, buckets[static_cast<std::size_t>(r)]);
+  for (int r = 0; r < n; ++r) {
+    if (r == me) continue;
+    auto in = comm.recv<T>(r, tag);
+    kept.insert(kept.end(), in.begin(), in.end());
+  }
+  return kept;
+}
+
+/// One rank owns one block: block index == rank. All methods are collective
+/// over the communicator.
+class Exchanger {
+ public:
+  Exchanger(comm::Comm& comm, const Decomposition& decomp);
+
+  [[nodiscard]] int my_block() const { return comm_->rank(); }
+  [[nodiscard]] Bounds my_bounds() const { return decomp_->block_bounds(my_block()); }
+
+  /// Bidirectional ghost exchange: every particle within `ghost` of a
+  /// neighboring block is sent to that neighbor (translated across periodic
+  /// boundaries). Returns the ghost particles this block receives, in the
+  /// local (shifted) frame. Self-images from wrap-around neighbors of the
+  /// same block are included when the decomposition is that small.
+  std::vector<Particle> exchange_ghost(const std::vector<Particle>& mine,
+                                       double ghost);
+
+  /// Move particles to the blocks that now contain them (positions are
+  /// wrapped into the domain first). Returns this block's new particle set.
+  std::vector<Particle> migrate(std::vector<Particle> mine);
+
+  /// Particles sent by this rank in the last exchange_ghost call.
+  [[nodiscard]] std::size_t last_sent() const { return last_sent_; }
+
+ private:
+  comm::Comm* comm_;
+  const Decomposition* decomp_;
+  std::size_t last_sent_ = 0;
+
+  static constexpr int kTagGhost = 100;
+  static constexpr int kTagMigrate = 101;
+};
+
+}  // namespace tess::diy

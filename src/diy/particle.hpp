@@ -1,0 +1,19 @@
+// The particle record moved between blocks by the exchange layer and
+// consumed by the tessellation: a position plus a stable global id. The id
+// is what lets the tessellation resolve duplicated cells across blocks and
+// name Voronoi neighbors consistently everywhere.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/vec3.hpp"
+
+namespace tess::diy {
+
+struct Particle {
+  geom::Vec3 pos;
+  std::int64_t id = -1;
+};
+static_assert(sizeof(Particle) == 32, "Particle must stay trivially packable");
+
+}  // namespace tess::diy

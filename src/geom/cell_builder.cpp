@@ -1,0 +1,97 @@
+#include "geom/cell_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tess::geom {
+
+CellBuilder::CellBuilder(std::vector<Vec3> points, std::vector<std::int64_t> ids,
+                         const Vec3& bounds_min, const Vec3& bounds_max)
+    : points_(std::move(points)), ids_(std::move(ids)), lo_(bounds_min), hi_(bounds_max) {
+  if (!ids_.empty() && ids_.size() != points_.size())
+    throw std::invalid_argument("CellBuilder: ids/points size mismatch");
+
+  // Aim for ~4 points per bin so a shell sweep touches few empty bins.
+  const double n = static_cast<double>(std::max<std::size_t>(points_.size(), 1));
+  const int per_dim = std::max(1, static_cast<int>(std::cbrt(n / 4.0)));
+  for (int a = 0; a < 3; ++a) {
+    nb_[a] = per_dim;
+    const double extent = hi_[static_cast<std::size_t>(a)] - lo_[static_cast<std::size_t>(a)];
+    h_[a] = extent > 0.0 ? extent / per_dim : 1.0;
+  }
+  bins_.resize(static_cast<std::size_t>(nb_[0]) * static_cast<std::size_t>(nb_[1]) *
+               static_cast<std::size_t>(nb_[2]));
+  for (int i = 0; i < static_cast<int>(points_.size()); ++i)
+    bins_[static_cast<std::size_t>(bin_of(points_[static_cast<std::size_t>(i)]))]
+        .push_back(i);
+}
+
+int CellBuilder::bin_of(const Vec3& p) const {
+  int c[3];
+  for (int a = 0; a < 3; ++a) {
+    const double rel = (p[static_cast<std::size_t>(a)] - lo_[static_cast<std::size_t>(a)]) / h_[a];
+    c[a] = std::clamp(static_cast<int>(rel), 0, nb_[a] - 1);
+  }
+  return (c[2] * nb_[1] + c[1]) * nb_[0] + c[0];
+}
+
+VoronoiCell CellBuilder::build(int site, const Vec3& box_min,
+                               const Vec3& box_max) const {
+  const Vec3& s = points_[static_cast<std::size_t>(site)];
+  VoronoiCell cell(s, box_min, box_max);
+
+  // Site's bin coordinates.
+  int sc[3];
+  for (int a = 0; a < 3; ++a) {
+    const double rel = (s[static_cast<std::size_t>(a)] - lo_[static_cast<std::size_t>(a)]) / h_[a];
+    sc[a] = std::clamp(static_cast<int>(rel), 0, nb_[a] - 1);
+  }
+  const double hmin = std::min({h_[0], h_[1], h_[2]});
+  const int max_ring = std::max({nb_[0], nb_[1], nb_[2]});
+
+  std::vector<std::pair<double, int>> ring_pts;  // (dist2, point index)
+
+  for (int r = 0; r <= max_ring; ++r) {
+    // Any point in a bin at Chebyshev ring r is at least (r-1)*hmin from the
+    // site; once that exceeds the security radius 2*Rmax, no remaining
+    // candidate can cut the cell.
+    if (r >= 2) {
+      const double ring_min = (r - 1) * hmin;
+      if (ring_min * ring_min > 4.0 * cell.max_radius2()) break;
+    }
+
+    ring_pts.clear();
+    const int x0 = sc[0] - r, x1 = sc[0] + r;
+    const int y0 = sc[1] - r, y1 = sc[1] + r;
+    const int z0 = sc[2] - r, z1 = sc[2] + r;
+    for (int z = std::max(z0, 0); z <= std::min(z1, nb_[2] - 1); ++z)
+      for (int y = std::max(y0, 0); y <= std::min(y1, nb_[1] - 1); ++y)
+        for (int x = std::max(x0, 0); x <= std::min(x1, nb_[0] - 1); ++x) {
+          // Shell only: skip interior bins already visited at smaller r.
+          if (r > 0 && x != x0 && x != x1 && y != y0 && y != y1 && z != z0 &&
+              z != z1)
+            continue;
+          const auto& bin =
+              bins_[(static_cast<std::size_t>(z) * static_cast<std::size_t>(nb_[1]) +
+                     static_cast<std::size_t>(y)) * static_cast<std::size_t>(nb_[0]) +
+                    static_cast<std::size_t>(x)];
+          for (int j : bin) {
+            if (j == site) continue;
+            ring_pts.emplace_back(dist2(s, points_[static_cast<std::size_t>(j)]), j);
+          }
+        }
+    std::sort(ring_pts.begin(), ring_pts.end());
+
+    for (const auto& [d2, j] : ring_pts) {
+      if (d2 > 4.0 * cell.max_radius2()) break;  // sorted: rest are farther
+      const std::int64_t id = ids_.empty() ? j : ids_[static_cast<std::size_t>(j)];
+      ++cuts_;
+      cell.cut(points_[static_cast<std::size_t>(j)], id);
+      if (cell.empty()) return cell;
+    }
+  }
+  return cell;
+}
+
+}  // namespace tess::geom

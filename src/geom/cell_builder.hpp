@@ -1,0 +1,52 @@
+// Builds Voronoi cells for sites inside a block.
+//
+// Candidates are served from a uniform grid in order of (approximately)
+// increasing distance from the site, and clipping stops once the nearest
+// unprocessed candidate lies beyond twice the cell's current maximum vertex
+// radius — at that point no further bisector can intersect the cell, so the
+// produced polyhedron is the exact Voronoi cell (intersected with the seed
+// box). This is the "local Voronoi cell computation" stage of the paper's
+// pipeline, standing in for the per-block Qhull invocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "geom/voronoi_cell.hpp"
+
+namespace tess::geom {
+
+class CellBuilder {
+ public:
+  /// `points` are all particles available to the block (original + ghost).
+  /// `ids` are the stable global identifiers recorded as cell-face sources;
+  /// if empty, local indices are used. `bounds` must contain all points.
+  CellBuilder(std::vector<Vec3> points, std::vector<std::int64_t> ids,
+              const Vec3& bounds_min, const Vec3& bounds_max);
+
+  /// Construct the Voronoi cell of `points[site]` clipped to the seed box
+  /// [box_min, box_max] (typically the block bounds grown by the ghost
+  /// thickness). The site must lie inside the seed box.
+  [[nodiscard]] VoronoiCell build(int site, const Vec3& box_min,
+                                  const Vec3& box_max) const;
+
+  [[nodiscard]] std::size_t num_points() const { return points_.size(); }
+  [[nodiscard]] const std::vector<Vec3>& points() const { return points_; }
+
+  /// Total bisector cuts attempted across all build() calls (diagnostics).
+  [[nodiscard]] std::uint64_t cuts_attempted() const { return cuts_; }
+
+ private:
+  [[nodiscard]] int bin_of(const Vec3& p) const;
+
+  std::vector<Vec3> points_;
+  std::vector<std::int64_t> ids_;
+  Vec3 lo_, hi_;
+  int nb_[3] = {1, 1, 1};   // grid bins per dimension
+  double h_[3] = {0, 0, 0};  // bin extents
+  std::vector<std::vector<int>> bins_;
+  mutable std::uint64_t cuts_ = 0;
+};
+
+}  // namespace tess::geom

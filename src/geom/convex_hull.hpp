@@ -1,0 +1,36 @@
+// 3D convex hull via the quickhull algorithm (Barber, Dobkin, Huhdanpaa
+// 1996). This is the serial computational-geometry workhorse that plays the
+// role Qhull plays in the paper: tess runs it per Voronoi cell to order the
+// cell's vertices into faces and obtain volume and surface area.
+//
+// Visibility tests use the robust orient3d predicate, so the hull is correct
+// for degenerate/cospherical inputs; exactly coplanar points are treated as
+// not visible, which keeps the output a valid triangulated convex surface.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace tess::geom {
+
+struct HullResult {
+  /// Outward-oriented triangles, as indices into the input point array.
+  std::vector<std::array<int, 3>> faces;
+  /// Indices of input points that lie on the hull (sorted, unique).
+  std::vector<int> vertices;
+  double volume = 0.0;
+  double area = 0.0;
+  /// True when the input has rank < 3 (all points coincident, collinear, or
+  /// coplanar); faces/volume/area are empty/zero in that case.
+  bool degenerate = false;
+};
+
+/// Compute the convex hull of `points`. Duplicates and interior points are
+/// handled; at least four affinely independent points are required for a
+/// non-degenerate result.
+HullResult convex_hull(const std::vector<Vec3>& points);
+
+}  // namespace tess::geom

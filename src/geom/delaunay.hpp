@@ -1,0 +1,43 @@
+// Delaunay tetrahedralization as the dual of the Voronoi diagram.
+//
+// Every vertex of a complete Voronoi cell lies at the meeting point of three
+// bisector planes, so it is equidistant from four sites: the cell's own site
+// and the three neighbors that generated those planes. That 4-tuple is a
+// Delaunay tetrahedron (the Voronoi vertex is its circumcenter). Collecting
+// the tuples over all complete cells and deduplicating yields the Delaunay
+// tetrahedralization — the paper's "the Delaunay is simply its dual".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geom/voronoi_cell.hpp"
+
+namespace tess::geom {
+
+/// One Delaunay tetrahedron, as four sorted global site ids.
+struct Tetrahedron {
+  std::array<std::int64_t, 4> v{};
+
+  bool operator==(const Tetrahedron& o) const { return v == o.v; }
+  bool operator<(const Tetrahedron& o) const { return v < o.v; }
+};
+
+/// Extract the deduplicated Delaunay tetrahedra dual to a set of Voronoi
+/// cells. `site_ids[i]` is the global id of `cells[i]`'s site. Cells that
+/// are incomplete are skipped (their vertices involve seed-box planes, not
+/// four real sites), as are degenerate vertices whose generator triple is
+/// under-determined.
+std::vector<Tetrahedron> delaunay_from_cells(
+    const std::vector<VoronoiCell>& cells,
+    const std::vector<std::int64_t>& site_ids);
+
+/// Delaunay edges (pairs of naturally neighboring site ids) from the cell
+/// face adjacency; cheaper than full tetrahedra when only the neighbor graph
+/// is needed (e.g. connected-component labeling).
+std::vector<std::array<std::int64_t, 2>> delaunay_edges_from_cells(
+    const std::vector<VoronoiCell>& cells,
+    const std::vector<std::int64_t>& site_ids);
+
+}  // namespace tess::geom

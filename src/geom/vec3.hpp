@@ -1,0 +1,62 @@
+// Double-precision 3-vector used throughout the geometry kernel and the
+// simulation. Kept deliberately minimal (POD, trivially copyable) so arrays
+// of Vec3 can travel through the message-passing layer unchanged.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace tess::geom {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr double& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double operator[](std::size_t i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+inline double norm2(const Vec3& v) { return dot(v, v); }
+inline double norm(const Vec3& v) { return std::sqrt(norm2(v)); }
+
+inline Vec3 normalized(const Vec3& v) {
+  const double n = norm(v);
+  return n > 0.0 ? v / n : Vec3{};
+}
+
+inline double dist2(const Vec3& a, const Vec3& b) { return norm2(a - b); }
+inline double dist(const Vec3& a, const Vec3& b) { return norm(a - b); }
+
+}  // namespace tess::geom

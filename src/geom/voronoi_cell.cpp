@@ -1,0 +1,400 @@
+#include "geom/voronoi_cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tess::geom {
+
+namespace {
+
+// Relative tolerance for classifying a vertex as on the kept side of a cut
+// plane. On-plane vertices count as inside so tangent cuts are no-ops.
+inline double plane_eps(const Plane& p, double vert_scale) {
+  return 1e-12 * (std::fabs(p.d) + vert_scale + 1.0);
+}
+
+}  // namespace
+
+VoronoiCell::VoronoiCell(const Vec3& site, const Vec3& box_min, const Vec3& box_max)
+    : site_(site) {
+  // Corner i has bit0 -> x, bit1 -> y, bit2 -> z (0 = min side).
+  verts_.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    verts_.push_back({(i & 1) ? box_max.x : box_min.x,
+                      (i & 2) ? box_max.y : box_min.y,
+                      (i & 4) ? box_max.z : box_min.z});
+    gens_.push_back({(i & 1) ? std::int64_t{-2} : std::int64_t{-1},
+                     (i & 2) ? std::int64_t{-4} : std::int64_t{-3},
+                     (i & 4) ? std::int64_t{-6} : std::int64_t{-5}});
+  }
+  // Outward-oriented (CCW from outside) quad faces; sources -1..-6 identify
+  // the box planes -X,+X,-Y,+Y,-Z,+Z.
+  faces_ = {
+      {-1, {0, 4, 6, 2}}, {-2, {1, 3, 7, 5}}, {-3, {0, 1, 5, 4}},
+      {-4, {2, 6, 7, 3}}, {-5, {0, 2, 3, 1}}, {-6, {4, 5, 7, 6}},
+  };
+  recompute_radius();
+}
+
+bool VoronoiCell::cut(const Vec3& neighbor, std::int64_t neighbor_id) {
+  const Vec3 n = neighbor - site_;
+  // Bisector plane: n·x = n·midpoint; the site side satisfies n·x < d.
+  const Vec3 mid = (neighbor + site_) * 0.5;
+  return clip({n, dot(n, mid), neighbor_id});
+}
+
+bool VoronoiCell::clip(const Plane& plane) {
+  if (faces_.empty()) return false;
+
+  // Signed distances for every stored vertex (unused ones are harmless).
+  double vert_scale = 0.0;
+  std::vector<double> dist(verts_.size());
+  for (std::size_t i = 0; i < verts_.size(); ++i) {
+    dist[i] = dot(plane.n, verts_[i]) - plane.d;
+    vert_scale = std::max(vert_scale, std::fabs(dot(plane.n, verts_[i])));
+  }
+  const double eps = plane_eps(plane, vert_scale);
+  auto outside = [&](int v) { return dist[static_cast<std::size_t>(v)] > eps; };
+
+  bool any_out = false, all_out = true;
+  for (const auto& f : faces_)
+    for (int v : f.verts) {
+      if (outside(v)) {
+        any_out = true;
+      } else {
+        all_out = false;
+      }
+    }
+  if (!any_out) return false;
+  if (all_out) {
+    faces_.clear();
+    max_radius2_ = 0.0;
+    return true;
+  }
+
+  // New vertex on each cut edge, keyed by the undirected edge so the two
+  // faces sharing the edge reuse one vertex (exact connectivity, no
+  // position-tolerance welding).
+  auto ukey = [](int u, int v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+           static_cast<std::uint32_t>(v);
+  };
+  std::unordered_map<std::uint64_t, int> cut_vertex;
+  auto intersect = [&](int u, int v) -> int {
+    const auto key = ukey(u, v);
+    auto it = cut_vertex.find(key);
+    if (it != cut_vertex.end()) return it->second;
+    const double du = dist[static_cast<std::size_t>(u)];
+    const double dv = dist[static_cast<std::size_t>(v)];
+    const double t = du / (du - dv);
+    const Vec3 p = verts_[static_cast<std::size_t>(u)] +
+                   (verts_[static_cast<std::size_t>(v)] -
+                    verts_[static_cast<std::size_t>(u)]) * t;
+    const int idx = static_cast<int>(verts_.size());
+    verts_.push_back(p);
+    gens_.push_back({plane.source, kNoGenerator, kNoGenerator});
+    cut_vertex.emplace(key, idx);
+    return idx;
+  };
+
+  // Clip every face loop (Sutherland-Hodgman) and collect the directed cap
+  // edges. Within a clipped face the new edge runs exit -> entry; the cap
+  // face needs it reversed (entry -> exit) to stay outward-oriented.
+  std::vector<Face> out_faces;
+  out_faces.reserve(faces_.size() + 1);
+  std::unordered_map<int, int> cap_next;  // entry vertex -> exit vertex
+  std::vector<int> loop;
+
+  for (auto& f : faces_) {
+    loop.clear();
+    const std::size_t m = f.verts.size();
+    // A convex loop crosses the plane at most twice: once leaving the kept
+    // side (exit) and once returning (entry) — in either walk order.
+    int exit_w = -1, entry_w = -1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const int u = f.verts[i];
+      const int v = f.verts[(i + 1) % m];
+      const bool u_out = outside(u), v_out = outside(v);
+      if (!u_out) loop.push_back(u);
+      if (u_out != v_out) {
+        const int w = intersect(u, v);
+        loop.push_back(w);
+        add_generator(w, f.source);
+        if (!u_out) {
+          exit_w = w;  // in -> out crossing
+        } else {
+          entry_w = w;  // out -> in crossing
+        }
+      }
+    }
+    if (exit_w >= 0 && entry_w >= 0 && exit_w != entry_w)
+      cap_next[entry_w] = exit_w;
+    if (loop.size() >= 3) {
+      Face nf;
+      nf.source = f.source;
+      nf.verts = loop;
+      out_faces.push_back(std::move(nf));
+    }
+  }
+
+  // Build the cap face on the cutting plane by chaining the directed edges.
+  if (cap_next.size() >= 3) {
+    Face cap;
+    cap.source = plane.source;
+    const int start = cap_next.begin()->first;
+    int cur = start;
+    for (std::size_t guard = 0; guard <= cap_next.size(); ++guard) {
+      cap.verts.push_back(cur);
+      auto it = cap_next.find(cur);
+      if (it == cap_next.end()) break;
+      cur = it->second;
+      if (cur == start) break;
+    }
+    if (cap.verts.size() == cap_next.size() && cur == start) {
+      out_faces.push_back(std::move(cap));
+    } else {
+      // Chain failed (degenerate classification); fall back to an angular
+      // sort of the cap vertices around the plane normal.
+      std::vector<int> cap_verts;
+      for (const auto& kv : cap_next) cap_verts.push_back(kv.first);
+      for (const auto& kv : cap_next)
+        if (std::find(cap_verts.begin(), cap_verts.end(), kv.second) == cap_verts.end())
+          cap_verts.push_back(kv.second);
+      if (cap_verts.size() >= 3) {
+        Vec3 c{};
+        for (int v : cap_verts) c += verts_[static_cast<std::size_t>(v)];
+        c = c / static_cast<double>(cap_verts.size());
+        const Vec3 nz = normalized(plane.n);
+        Vec3 ux = cross(nz, Vec3{1, 0, 0});
+        if (norm2(ux) < 1e-12) ux = cross(nz, Vec3{0, 1, 0});
+        ux = normalized(ux);
+        const Vec3 uy = cross(nz, ux);
+        std::sort(cap_verts.begin(), cap_verts.end(), [&](int a, int b) {
+          const Vec3 pa = verts_[static_cast<std::size_t>(a)] - c;
+          const Vec3 pb = verts_[static_cast<std::size_t>(b)] - c;
+          return std::atan2(dot(pa, uy), dot(pa, ux)) <
+                 std::atan2(dot(pb, uy), dot(pb, ux));
+        });
+        // Orient the loop so its normal points along +n (outward).
+        Vec3 nrm{};
+        for (std::size_t i = 1; i + 1 < cap_verts.size(); ++i) {
+          const Vec3 a = verts_[static_cast<std::size_t>(cap_verts[i])] -
+                         verts_[static_cast<std::size_t>(cap_verts[0])];
+          const Vec3 b = verts_[static_cast<std::size_t>(cap_verts[i + 1])] -
+                         verts_[static_cast<std::size_t>(cap_verts[0])];
+          nrm += cross(a, b);
+        }
+        if (dot(nrm, plane.n) < 0.0)
+          std::reverse(cap_verts.begin(), cap_verts.end());
+        Face cap2;
+        cap2.source = plane.source;
+        cap2.verts = std::move(cap_verts);
+        out_faces.push_back(std::move(cap2));
+      }
+    }
+  }
+
+  faces_ = std::move(out_faces);
+  if (faces_.size() < 4) faces_.clear();  // a valid polyhedron needs >= 4 faces
+  recompute_radius();
+  return true;
+}
+
+void VoronoiCell::add_generator(int vertex, std::int64_t source) {
+  auto& g = gens_[static_cast<std::size_t>(vertex)];
+  for (auto s : g)
+    if (s == source) return;
+  for (auto& s : g)
+    if (s == kNoGenerator) {
+      s = source;
+      return;
+    }
+  // More than three generating planes meet here (degenerate vertex); the
+  // first three are kept, which is adequate for Delaunay extraction since
+  // degenerate tets are deduplicated downstream.
+}
+
+bool VoronoiCell::complete() const {
+  if (faces_.empty()) return false;
+  for (const auto& f : faces_)
+    if (f.source < 0) return false;
+  return true;
+}
+
+void VoronoiCell::recompute_radius() {
+  max_radius2_ = 0.0;
+  for (const auto& f : faces_)
+    for (int v : f.verts)
+      max_radius2_ =
+          std::max(max_radius2_, dist2(site_, verts_[static_cast<std::size_t>(v)]));
+}
+
+double VoronoiCell::max_vertex_separation2() const {
+  // Collect the used vertices once; cells are small (tens of vertices), so
+  // the quadratic pass is cheap.
+  std::unordered_set<int> used;
+  for (const auto& f : faces_) used.insert(f.verts.begin(), f.verts.end());
+  double best = 0.0;
+  for (auto it = used.begin(); it != used.end(); ++it) {
+    auto jt = it;
+    for (++jt; jt != used.end(); ++jt)
+      best = std::max(best, dist2(verts_[static_cast<std::size_t>(*it)],
+                                  verts_[static_cast<std::size_t>(*jt)]));
+  }
+  return best;
+}
+
+double VoronoiCell::volume() const {
+  // Signed volume of the closed outward-oriented surface via the divergence
+  // theorem, fanning each face from its first vertex.
+  double vol = 0.0;
+  for (const auto& f : faces_) {
+    const Vec3& p0 = verts_[static_cast<std::size_t>(f.verts[0])];
+    for (std::size_t i = 1; i + 1 < f.verts.size(); ++i) {
+      const Vec3& p1 = verts_[static_cast<std::size_t>(f.verts[i])];
+      const Vec3& p2 = verts_[static_cast<std::size_t>(f.verts[i + 1])];
+      vol += dot(p0, cross(p1, p2)) / 6.0;
+    }
+  }
+  return vol;
+}
+
+double VoronoiCell::area() const {
+  double a = 0.0;
+  for (const auto& f : faces_) {
+    const Vec3& p0 = verts_[static_cast<std::size_t>(f.verts[0])];
+    Vec3 n{};
+    for (std::size_t i = 1; i + 1 < f.verts.size(); ++i) {
+      const Vec3& p1 = verts_[static_cast<std::size_t>(f.verts[i])];
+      const Vec3& p2 = verts_[static_cast<std::size_t>(f.verts[i + 1])];
+      n += cross(p1 - p0, p2 - p0);
+    }
+    a += 0.5 * norm(n);
+  }
+  return a;
+}
+
+Vec3 VoronoiCell::centroid() const {
+  // Volume-weighted centroid from the tetrahedra of the face fans and the
+  // site as the common apex.
+  Vec3 c{};
+  double vol = 0.0;
+  for (const auto& f : faces_) {
+    const Vec3& p0 = verts_[static_cast<std::size_t>(f.verts[0])];
+    for (std::size_t i = 1; i + 1 < f.verts.size(); ++i) {
+      const Vec3& p1 = verts_[static_cast<std::size_t>(f.verts[i])];
+      const Vec3& p2 = verts_[static_cast<std::size_t>(f.verts[i + 1])];
+      const double v =
+          dot(p0 - site_, cross(p1 - site_, p2 - site_)) / 6.0;
+      vol += v;
+      c += (site_ + p0 + p1 + p2) * (v / 4.0);
+    }
+  }
+  return vol != 0.0 ? c / vol : site_;
+}
+
+std::vector<std::int64_t> VoronoiCell::neighbor_ids() const {
+  std::vector<std::int64_t> ids;
+  ids.reserve(faces_.size());
+  for (const auto& f : faces_)
+    if (f.source >= 0) ids.push_back(f.source);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+void VoronoiCell::prune_degenerate_faces() {
+  // A bisector that grazes the cell exactly along an edge/corner (possible
+  // for lattice-like inputs) leaves a face of zero area; drop it. The
+  // threshold is relative to the squared cell radius, the natural area
+  // scale of the polyhedron.
+  const double eps = 1e-12 * std::max(max_radius2_, 1e-300);
+  std::erase_if(faces_, [&](const Face& f) {
+    const Vec3& p0 = verts_[static_cast<std::size_t>(f.verts[0])];
+    Vec3 n{};
+    for (std::size_t i = 1; i + 1 < f.verts.size(); ++i) {
+      const Vec3& p1 = verts_[static_cast<std::size_t>(f.verts[i])];
+      const Vec3& p2 = verts_[static_cast<std::size_t>(f.verts[i + 1])];
+      n += cross(p1 - p0, p2 - p0);
+    }
+    return 0.5 * norm(n) <= eps;
+  });
+}
+
+void VoronoiCell::compact() {
+  prune_degenerate_faces();
+
+  // Weld coincident vertices (grazing cuts can create the same geometric
+  // vertex on several edges) and drop collinear loop vertices, so exported
+  // faces are minimal polygons. Cells are small, so the quadratic weld is
+  // cheap.
+  const double weld_eps2 = 1e-18 * std::max(max_radius2_, 1e-300);
+  {
+    std::vector<int> canon(verts_.size());
+    for (std::size_t i = 0; i < verts_.size(); ++i) canon[i] = static_cast<int>(i);
+    std::vector<int> used_list;
+    {
+      std::vector<char> used(verts_.size(), 0);
+      for (const auto& f : faces_)
+        for (int v : f.verts) used[static_cast<std::size_t>(v)] = 1;
+      for (std::size_t i = 0; i < verts_.size(); ++i)
+        if (used[i]) used_list.push_back(static_cast<int>(i));
+    }
+    for (std::size_t a = 0; a < used_list.size(); ++a)
+      for (std::size_t b = a + 1; b < used_list.size(); ++b) {
+        const int i = used_list[a], j = used_list[b];
+        if (canon[static_cast<std::size_t>(j)] != j) continue;
+        if (dist2(verts_[static_cast<std::size_t>(i)],
+                  verts_[static_cast<std::size_t>(j)]) <= weld_eps2)
+          canon[static_cast<std::size_t>(j)] = canon[static_cast<std::size_t>(i)];
+      }
+    const double collinear_eps = 1e-12 * std::max(max_radius2_, 1e-300);
+    for (auto& f : faces_) {
+      for (auto& v : f.verts) v = canon[static_cast<std::size_t>(v)];
+      // Drop consecutive duplicates.
+      std::vector<int> loop;
+      for (int v : f.verts)
+        if (loop.empty() || loop.back() != v) loop.push_back(v);
+      while (loop.size() > 1 && loop.front() == loop.back()) loop.pop_back();
+      // Drop collinear interior vertices.
+      bool changed = true;
+      while (changed && loop.size() > 3) {
+        changed = false;
+        for (std::size_t i = 0; i < loop.size(); ++i) {
+          const Vec3& a = verts_[static_cast<std::size_t>(loop[(i + loop.size() - 1) % loop.size()])];
+          const Vec3& b = verts_[static_cast<std::size_t>(loop[i])];
+          const Vec3& c = verts_[static_cast<std::size_t>(loop[(i + 1) % loop.size()])];
+          if (0.5 * norm(cross(b - a, c - b)) <= collinear_eps) {
+            loop.erase(loop.begin() + static_cast<std::ptrdiff_t>(i));
+            changed = true;
+            break;
+          }
+        }
+      }
+      f.verts = std::move(loop);
+    }
+    std::erase_if(faces_, [](const Face& f) { return f.verts.size() < 3; });
+  }
+
+  std::vector<int> remap(verts_.size(), -1);
+  std::vector<Vec3> new_verts;
+  std::vector<std::array<std::int64_t, 3>> new_gens;
+  for (auto& f : faces_)
+    for (auto& v : f.verts) {
+      auto& slot = remap[static_cast<std::size_t>(v)];
+      if (slot < 0) {
+        slot = static_cast<int>(new_verts.size());
+        new_verts.push_back(verts_[static_cast<std::size_t>(v)]);
+        new_gens.push_back(gens_[static_cast<std::size_t>(v)]);
+      }
+      v = slot;
+    }
+  verts_ = std::move(new_verts);
+  gens_ = std::move(new_gens);
+}
+
+}  // namespace tess::geom

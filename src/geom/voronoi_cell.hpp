@@ -1,0 +1,110 @@
+// A single Voronoi cell represented as a convex polyhedron and refined by
+// half-space clipping.
+//
+// The cell starts as a seed box (the block bounds grown by the ghost-zone
+// thickness) and is cut by the perpendicular bisector plane of its site and
+// each nearby particle. After all relevant cuts, the polyhedron is exactly
+// the Voronoi cell intersected with the seed box; a cell that still retains
+// a seed-box face is *incomplete* in the paper's sense (not closed off by
+// surrounding particles) and is discarded by the tessellation pipeline.
+//
+// Every face remembers which neighbor particle (or box plane) generated it,
+// and every vertex remembers the three generating planes, which makes the
+// dual Delaunay tetrahedra directly recoverable (see geom/delaunay.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace tess::geom {
+
+/// Oriented cutting plane n·x <= d (the kept side), tagged with the id of
+/// the neighbor particle (source >= 0) or seed-box plane (source in
+/// kBoxSourceMin..kBoxSourceMax) that produced it.
+struct Plane {
+  Vec3 n;
+  double d = 0.0;
+  std::int64_t source = 0;
+};
+
+class VoronoiCell {
+ public:
+  /// Box plane sources: -1 (-X), -2 (+X), -3 (-Y), -4 (+Y), -5 (-Z), -6 (+Z).
+  static constexpr std::int64_t kBoxSourceMax = -1;
+  static constexpr std::int64_t kBoxSourceMin = -6;
+  /// Generator sentinel for a not-yet-known vertex generator.
+  static constexpr std::int64_t kNoGenerator = INT64_MIN;
+
+  struct Face {
+    std::int64_t source = 0;   ///< neighbor particle id, or box plane id (< 0)
+    std::vector<int> verts;    ///< CCW loop viewed from outside the cell
+  };
+
+  /// Initialize as the axis-aligned seed box [box_min, box_max] around
+  /// `site`; `site` must be strictly inside the box.
+  VoronoiCell(const Vec3& site, const Vec3& box_min, const Vec3& box_max);
+
+  [[nodiscard]] const Vec3& site() const { return site_; }
+
+  /// Clip by the bisector plane between the site and `neighbor`, keeping the
+  /// site side. Returns true if the cell geometry changed.
+  bool cut(const Vec3& neighbor, std::int64_t neighbor_id);
+
+  /// Clip by an arbitrary plane (kept side n·x <= d).
+  bool clip(const Plane& plane);
+
+  /// True once every vertex has been clipped away.
+  [[nodiscard]] bool empty() const { return faces_.empty(); }
+
+  /// True when no seed-box face remains: the cell is bounded entirely by
+  /// particle bisectors and therefore equals the true Voronoi cell.
+  [[nodiscard]] bool complete() const;
+
+  /// Squared distance from the site to its farthest vertex. A neighbor
+  /// farther than 2*sqrt(max_radius2()) cannot modify the cell (security
+  /// radius), which is the termination criterion of the cell builder.
+  [[nodiscard]] double max_radius2() const { return max_radius2_; }
+
+  /// Largest squared distance between any two cell vertices. Used for the
+  /// paper's early volume culling: if the diameter of the circumscribing
+  /// sphere of the threshold volume exceeds every vertex separation, the
+  /// cell volume is provably below the threshold.
+  [[nodiscard]] double max_vertex_separation2() const;
+
+  [[nodiscard]] double volume() const;
+  [[nodiscard]] double area() const;
+  [[nodiscard]] Vec3 centroid() const;
+
+  [[nodiscard]] const std::vector<Face>& faces() const { return faces_; }
+  [[nodiscard]] const std::vector<Vec3>& vertices() const { return verts_; }
+  /// The three plane sources that generate each vertex (box sources < 0).
+  [[nodiscard]] const std::vector<std::array<std::int64_t, 3>>& vertex_generators()
+      const {
+    return gens_;
+  }
+
+  /// Ids of the neighbor particles whose bisectors bound the cell — the
+  /// cell's natural (Delaunay) neighbors.
+  [[nodiscard]] std::vector<std::int64_t> neighbor_ids() const;
+
+  /// Drop vertices not referenced by any face and renumber face loops.
+  /// Also removes zero-area faces left by bisector planes that graze the
+  /// cell exactly along an edge or corner (degenerate, e.g. lattice inputs).
+  void compact();
+
+ private:
+  void prune_degenerate_faces();
+  void recompute_radius();
+  void add_generator(int vertex, std::int64_t source);
+
+  Vec3 site_;
+  std::vector<Vec3> verts_;
+  std::vector<std::array<std::int64_t, 3>> gens_;
+  std::vector<Face> faces_;
+  double max_radius2_ = 0.0;
+};
+
+}  // namespace tess::geom

@@ -1,0 +1,34 @@
+#include "hacc/cosmology.hpp"
+
+#include <cmath>
+
+namespace tess::hacc {
+
+double Cosmology::expansion_rate(double a) const {
+  return std::sqrt(omega_m / (a * a * a) + omega_k() / (a * a) + omega_l);
+}
+
+double Cosmology::f_of_a(double a) const {
+  return 1.0 / std::sqrt((omega_m + omega_l * a * a * a + omega_k() * a) / a);
+}
+
+double Cosmology::growth(double a) const {
+  if (omega_l == 0.0 && omega_m == 1.0) return a;  // EdS: D = a exactly
+  // Carroll, Press & Turner (1992) fitting form, normalized to D(1) = 1.
+  auto g = [this](double aa) {
+    const double e2 = omega_m / (aa * aa * aa) + omega_k() / (aa * aa) + omega_l;
+    const double om = omega_m / (aa * aa * aa) / e2;
+    const double ol = omega_l / e2;
+    return 2.5 * om /
+           (std::pow(om, 4.0 / 7.0) - ol + (1.0 + om / 2.0) * (1.0 + ol / 70.0));
+  };
+  return a * g(a) / g(1.0);
+}
+
+double Cosmology::growth_rate(double a) const {
+  if (omega_l == 0.0 && omega_m == 1.0) return 1.0;
+  const double da = 1e-5 * a;
+  return (growth(a + da) - growth(a - da)) / (2.0 * da);
+}
+
+}  // namespace tess::hacc

@@ -1,0 +1,36 @@
+// Background cosmology: expansion rate, linear growth factor, and the f(a)
+// kernel of the comoving particle-mesh equations of motion.
+//
+// Conventions follow the standard PM formulation (e.g. Kravtsov's "Writing
+// a PM code" notes): lengths in grid units, time parameterized by the scale
+// factor a, momenta p = a^2 dx/dt with t in 1/H0 units. The equations are
+//   dx/da = f(a) p / a^2,   dp/da = -f(a) grad(phi),
+//   laplacian(phi) = (3 Omega_m / 2a) delta,
+//   f(a) = [ (Omega_m + Omega_L a^3 + Omega_k a) / a ]^(-1/2).
+#pragma once
+
+namespace tess::hacc {
+
+struct Cosmology {
+  double omega_m = 1.0;   ///< matter density parameter today
+  double omega_l = 0.0;   ///< cosmological constant
+  double h = 0.7;         ///< dimensionless Hubble parameter (for P(k) shape)
+
+  [[nodiscard]] double omega_k() const { return 1.0 - omega_m - omega_l; }
+
+  /// E(a) = H(a)/H0.
+  [[nodiscard]] double expansion_rate(double a) const;
+
+  /// The f(a) factor of the comoving equations of motion: 1 / (a^2 E(a)) *
+  /// a^(1/2) ... collapsed to [(Omega_m + Omega_L a^3 + Omega_k a)/a]^(-1/2).
+  [[nodiscard]] double f_of_a(double a) const;
+
+  /// Linear growth factor, normalized so D(1) = 1. Exact a for
+  /// Einstein-de Sitter; Carroll-Press-Turner approximation otherwise.
+  [[nodiscard]] double growth(double a) const;
+
+  /// dD/da (numerical for the general case, exact 1 for EdS).
+  [[nodiscard]] double growth_rate(double a) const;
+};
+
+}  // namespace tess::hacc

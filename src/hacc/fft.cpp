@@ -1,0 +1,78 @@
+#include "hacc/fft.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace tess::hacc {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+void fft1d(Complex* data, std::size_t n, int sign) {
+  if (!is_pow2(n)) throw std::invalid_argument("fft1d: length must be a power of 2");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Danielson-Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (sign > 0) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] *= inv;
+  }
+}
+
+Fft3D::Fft3D(std::size_t nx, std::size_t ny, std::size_t nz)
+    : nx_(nx), ny_(ny), nz_(nz) {
+  if (!is_pow2(nx) || !is_pow2(ny) || !is_pow2(nz))
+    throw std::invalid_argument("Fft3D: dimensions must be powers of 2");
+}
+
+void Fft3D::transform(std::vector<Complex>& grid, int sign) const {
+  if (grid.size() != size())
+    throw std::invalid_argument("Fft3D: grid size mismatch");
+
+  // Along x: contiguous rows.
+  for (std::size_t z = 0; z < nz_; ++z)
+    for (std::size_t y = 0; y < ny_; ++y)
+      fft1d(grid.data() + (z * ny_ + y) * nx_, nx_, sign);
+
+  // Along y and z: gather strided lines into a scratch buffer.
+  std::vector<Complex> line(std::max(ny_, nz_));
+  for (std::size_t z = 0; z < nz_; ++z)
+    for (std::size_t x = 0; x < nx_; ++x) {
+      for (std::size_t y = 0; y < ny_; ++y) line[y] = grid[(z * ny_ + y) * nx_ + x];
+      fft1d(line.data(), ny_, sign);
+      for (std::size_t y = 0; y < ny_; ++y) grid[(z * ny_ + y) * nx_ + x] = line[y];
+    }
+  for (std::size_t y = 0; y < ny_; ++y)
+    for (std::size_t x = 0; x < nx_; ++x) {
+      for (std::size_t z = 0; z < nz_; ++z) line[z] = grid[(z * ny_ + y) * nx_ + x];
+      fft1d(line.data(), nz_, sign);
+      for (std::size_t z = 0; z < nz_; ++z) grid[(z * ny_ + y) * nx_ + x] = line[z];
+    }
+}
+
+}  // namespace tess::hacc

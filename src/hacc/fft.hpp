@@ -1,0 +1,40 @@
+// In-house complex FFT: iterative radix-2 Cooley-Tukey in 1D, applied along
+// each axis for 3D transforms. The particle-mesh gravity solver is the only
+// consumer, so the interface is deliberately small: power-of-two sizes,
+// double-precision complex, unnormalized forward / 1/N-normalized inverse
+// (so inverse(forward(x)) == x).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace tess::hacc {
+
+using Complex = std::complex<double>;
+
+/// In-place 1D FFT of length n = 2^k. `sign` -1 for forward, +1 for
+/// inverse (inverse applies the 1/n normalization).
+void fft1d(Complex* data, std::size_t n, int sign);
+
+/// 3D FFT on an nx*ny*nz cube stored x-fastest (index = (z*ny + y)*nx + x).
+/// All dimensions must be powers of two.
+class Fft3D {
+ public:
+  Fft3D(std::size_t nx, std::size_t ny, std::size_t nz);
+
+  [[nodiscard]] std::size_t size() const { return nx_ * ny_ * nz_; }
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t nz() const { return nz_; }
+
+  void forward(std::vector<Complex>& grid) const { transform(grid, -1); }
+  void inverse(std::vector<Complex>& grid) const { transform(grid, +1); }
+
+ private:
+  void transform(std::vector<Complex>& grid, int sign) const;
+
+  std::size_t nx_, ny_, nz_;
+};
+
+}  // namespace tess::hacc

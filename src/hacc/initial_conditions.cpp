@@ -1,0 +1,157 @@
+#include "hacc/initial_conditions.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "hacc/fft.hpp"
+#include "util/rng.hpp"
+
+namespace tess::hacc {
+
+namespace {
+
+// Synthesize delta_k by filtering unit white noise with sqrt(P(k)), then
+// rescale the real-space field to the requested rms. Returns the k-space
+// field (forward transform of the normalized delta).
+std::vector<Complex> density_modes(const IcConfig& cfg) {
+  const auto n = static_cast<std::size_t>(cfg.ng);
+  const std::size_t total = n * n * n;
+  Fft3D fft(n, n, n);
+  PowerSpectrum pk(cfg.cosmo, cfg.ns);
+
+  util::Rng rng(cfg.seed, 0);
+  std::vector<Complex> grid(total);
+  for (auto& c : grid) c = Complex(rng.normal(), 0.0);
+  fft.forward(grid);
+
+  // Physical wavenumber of mode (i,j,k): 2*pi*m/ng per grid unit; the
+  // paper's setup has 1 Mpc/h per particle spacing, so with np = ng the
+  // grid unit is 1 Mpc/h and k is already in h/Mpc.
+  auto freq = [&](std::size_t i) {
+    const auto ii = static_cast<std::ptrdiff_t>(i);
+    const auto half = static_cast<std::ptrdiff_t>(n / 2);
+    const auto m = ii <= half ? ii : ii - static_cast<std::ptrdiff_t>(n);
+    return 2.0 * std::numbers::pi * static_cast<double>(m) / static_cast<double>(n);
+  };
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x) {
+        const double kx = freq(x), ky = freq(y), kz = freq(z);
+        const double k = std::sqrt(kx * kx + ky * ky + kz * kz);
+        grid[(z * n + y) * n + x] *= std::sqrt(pk(k));
+      }
+
+  // Normalize in real space: white-noise filtering fixes the shape, the
+  // requested sigma_grid fixes the amplitude.
+  auto real_field = grid;
+  fft.inverse(real_field);
+  double sum2 = 0.0;
+  for (const auto& c : real_field) sum2 += c.real() * c.real();
+  const double rms = std::sqrt(sum2 / static_cast<double>(total));
+  const double scale = rms > 0.0 ? cfg.sigma_grid / rms : 0.0;
+  for (auto& c : grid) c *= scale;
+  return grid;
+}
+
+}  // namespace
+
+std::vector<double> linear_density_field(const IcConfig& cfg) {
+  const auto n = static_cast<std::size_t>(cfg.ng);
+  auto modes = density_modes(cfg);
+  Fft3D fft(n, n, n);
+  fft.inverse(modes);
+  std::vector<double> out(modes.size());
+  for (std::size_t i = 0; i < modes.size(); ++i) out[i] = modes[i].real();
+  return out;
+}
+
+std::vector<SimParticle> zeldovich_ic(const IcConfig& cfg) {
+  if (cfg.np < 1 || cfg.ng < 1)
+    throw std::invalid_argument("zeldovich_ic: np and ng must be >= 1");
+  const auto n = static_cast<std::size_t>(cfg.ng);
+  Fft3D fft(n, n, n);
+  auto modes = density_modes(cfg);
+
+  // Displacement S_k = i k delta_k / k^2, one inverse FFT per component.
+  auto freq = [&](std::size_t i) {
+    const auto ii = static_cast<std::ptrdiff_t>(i);
+    const auto half = static_cast<std::ptrdiff_t>(n / 2);
+    const auto m = ii <= half ? ii : ii - static_cast<std::ptrdiff_t>(n);
+    return 2.0 * std::numbers::pi * static_cast<double>(m) / static_cast<double>(n);
+  };
+  std::vector<std::vector<double>> disp(3);
+  for (int axis = 0; axis < 3; ++axis) {
+    std::vector<Complex> comp(modes.size());
+    for (std::size_t z = 0; z < n; ++z)
+      for (std::size_t y = 0; y < n; ++y)
+        for (std::size_t x = 0; x < n; ++x) {
+          const double kv[3] = {freq(x), freq(y), freq(z)};
+          const double k2 = kv[0] * kv[0] + kv[1] * kv[1] + kv[2] * kv[2];
+          const std::size_t idx = (z * n + y) * n + x;
+          comp[idx] = k2 > 0.0
+                          ? Complex(0.0, kv[axis]) * modes[idx] / k2
+                          : Complex(0.0, 0.0);
+        }
+    fft.inverse(comp);
+    disp[static_cast<std::size_t>(axis)].resize(comp.size());
+    for (std::size_t i = 0; i < comp.size(); ++i)
+      disp[static_cast<std::size_t>(axis)][i] = comp[i].real();
+  }
+
+  // Periodic CIC interpolation of the displacement at lattice site q.
+  auto interp = [&](int axis, const Vec3& q) {
+    const auto& f = disp[static_cast<std::size_t>(axis)];
+    const double gx = q.x, gy = q.y, gz = q.z;
+    const auto i0 = static_cast<std::ptrdiff_t>(std::floor(gx));
+    const auto j0 = static_cast<std::ptrdiff_t>(std::floor(gy));
+    const auto k0 = static_cast<std::ptrdiff_t>(std::floor(gz));
+    const double fx = gx - static_cast<double>(i0);
+    const double fy = gy - static_cast<double>(j0);
+    const double fz = gz - static_cast<double>(k0);
+    double v = 0.0;
+    for (int dz = 0; dz < 2; ++dz)
+      for (int dy = 0; dy < 2; ++dy)
+        for (int dx = 0; dx < 2; ++dx) {
+          const auto i = static_cast<std::size_t>((i0 + dx) & (static_cast<std::ptrdiff_t>(n) - 1));
+          const auto j = static_cast<std::size_t>((j0 + dy) & (static_cast<std::ptrdiff_t>(n) - 1));
+          const auto k = static_cast<std::size_t>((k0 + dz) & (static_cast<std::ptrdiff_t>(n) - 1));
+          const double w = (dx ? fx : 1.0 - fx) * (dy ? fy : 1.0 - fy) *
+                           (dz ? fz : 1.0 - fz);
+          v += w * f[(k * n + j) * n + i];
+        }
+    return v;
+  };
+
+  const double spacing = static_cast<double>(cfg.ng) / cfg.np;
+  const double d_init = cfg.cosmo.growth(cfg.a_init);
+  // Momenta live at a_init - delta_a/2 (leapfrog stagger).
+  const double am = cfg.a_init - 0.5 * cfg.delta_a;
+  const double pfac = am * am * am * cfg.cosmo.expansion_rate(am) *
+                      cfg.cosmo.growth_rate(am);
+
+  std::vector<SimParticle> particles;
+  particles.reserve(static_cast<std::size_t>(cfg.np) * cfg.np * cfg.np);
+  std::int64_t id = 0;
+  for (int z = 0; z < cfg.np; ++z)
+    for (int y = 0; y < cfg.np; ++y)
+      for (int x = 0; x < cfg.np; ++x, ++id) {
+        // Lattice sites coincide with FFT grid nodes (q = i * spacing), so
+        // with np == ng the displacement is read exactly, with no CIC
+        // smoothing — matching how production ICs are generated.
+        const Vec3 q{x * spacing, y * spacing, z * spacing};
+        const Vec3 s{interp(0, q), interp(1, q), interp(2, q)};
+        SimParticle p;
+        p.pos = q + s * d_init;
+        for (std::size_t a = 0; a < 3; ++a) {
+          while (p.pos[a] < 0.0) p.pos[a] += cfg.ng;
+          while (p.pos[a] >= cfg.ng) p.pos[a] -= cfg.ng;
+        }
+        p.mom = s * pfac;
+        p.id = id;
+        particles.push_back(p);
+      }
+  return particles;
+}
+
+}  // namespace tess::hacc

@@ -1,0 +1,52 @@
+// Zel'dovich initial conditions.
+//
+// A Gaussian random density field delta(x) with the BBKS-shaped power
+// spectrum is synthesized by filtering white noise in k-space; the linear
+// displacement field S = grad(inverse-laplacian delta) then moves particles
+// off a regular lattice, exactly as production cosmology codes (including
+// HACC) seed their runs:  x = q + D(a) S(q),  p = a^3 E(a) dD/da S(q).
+//
+// Positions and displacements are in grid units on the ng^3 mesh; particles
+// sit on an np^3 lattice (spacing ng/np), matching the paper's setup where
+// particles "begin spaced 1 Mpc/h apart" with np = ng = box.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "hacc/cosmology.hpp"
+#include "hacc/power_spectrum.hpp"
+
+namespace tess::hacc {
+
+using geom::Vec3;
+
+/// Simulation particle: comoving position (grid units), momentum
+/// p = a^2 dx/dt (code units), and a stable global id.
+struct SimParticle {
+  Vec3 pos;
+  Vec3 mom;
+  std::int64_t id = -1;
+};
+
+struct IcConfig {
+  int np = 32;              ///< particles per dimension
+  int ng = 32;              ///< mesh cells per dimension (power of 2)
+  double a_init = 0.1;      ///< starting scale factor
+  double delta_a = 0.009;   ///< leapfrog step (momenta staggered to a-da/2)
+  double sigma_grid = 1.0;  ///< rms of delta on the mesh, linearly at a = 1
+  double ns = 1.0;          ///< primordial spectral index
+  std::uint64_t seed = 1;
+  Cosmology cosmo{};
+};
+
+/// Generate the full particle set (np^3 particles, ids 0..np^3-1 in lattice
+/// order). Deterministic in `cfg.seed`.
+std::vector<SimParticle> zeldovich_ic(const IcConfig& cfg);
+
+/// The underlying linear density field at a = 1 (for tests and diagnostics;
+/// same field the particles are displaced by).
+std::vector<double> linear_density_field(const IcConfig& cfg);
+
+}  // namespace tess::hacc

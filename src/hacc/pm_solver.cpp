@@ -1,0 +1,128 @@
+#include "hacc/pm_solver.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "hacc/fft.hpp"
+
+namespace tess::hacc {
+
+PMSolver::PMSolver(int ng, const Cosmology& cosmo) : ng_(ng), cosmo_(cosmo) {
+  if (ng < 2 || (ng & (ng - 1)) != 0)
+    throw std::invalid_argument("PMSolver: ng must be a power of 2 >= 2");
+}
+
+void PMSolver::deposit(const std::vector<SimParticle>& particles, double mass,
+                       std::vector<double>& density) const {
+  const auto n = static_cast<std::size_t>(ng_);
+  if (density.size() != cells())
+    throw std::invalid_argument("PMSolver::deposit: grid size mismatch");
+  const auto mask = static_cast<std::ptrdiff_t>(n) - 1;
+  for (const auto& p : particles) {
+    // Cell-centered CIC: the particle shares mass with the 8 nearest cell
+    // centers (cell i has center i + 0.5).
+    const double gx = p.pos.x - 0.5, gy = p.pos.y - 0.5, gz = p.pos.z - 0.5;
+    const auto i0 = static_cast<std::ptrdiff_t>(std::floor(gx));
+    const auto j0 = static_cast<std::ptrdiff_t>(std::floor(gy));
+    const auto k0 = static_cast<std::ptrdiff_t>(std::floor(gz));
+    const double fx = gx - static_cast<double>(i0);
+    const double fy = gy - static_cast<double>(j0);
+    const double fz = gz - static_cast<double>(k0);
+    for (int dz = 0; dz < 2; ++dz)
+      for (int dy = 0; dy < 2; ++dy)
+        for (int dx = 0; dx < 2; ++dx) {
+          const auto i = static_cast<std::size_t>((i0 + dx) & mask);
+          const auto j = static_cast<std::size_t>((j0 + dy) & mask);
+          const auto k = static_cast<std::size_t>((k0 + dz) & mask);
+          const double w = (dx ? fx : 1.0 - fx) * (dy ? fy : 1.0 - fy) *
+                           (dz ? fz : 1.0 - fz);
+          density[(k * n + j) * n + i] += mass * w;
+        }
+  }
+}
+
+std::vector<double> PMSolver::potential(const std::vector<double>& density,
+                                        double a) const {
+  const auto n = static_cast<std::size_t>(ng_);
+  if (density.size() != cells())
+    throw std::invalid_argument("PMSolver::potential: grid size mismatch");
+
+  Fft3D fft(n, n, n);
+  std::vector<Complex> grid(density.size());
+  for (std::size_t i = 0; i < density.size(); ++i)
+    grid[i] = Complex(density[i] - 1.0, 0.0);  // overdensity
+  fft.forward(grid);
+
+  // Discrete Laplacian eigenvalue consistent with the central-difference
+  // gradient: k_eff^2 = sum_a (2 sin(pi m_a / ng))^2.
+  const double factor = 1.5 * cosmo_.omega_m / a;
+  auto s2 = [&](std::size_t i) {
+    const double s = 2.0 * std::sin(std::numbers::pi * static_cast<double>(i) /
+                                    static_cast<double>(n));
+    return s * s;
+  };
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x) {
+        const std::size_t idx = (z * n + y) * n + x;
+        const double k2 = s2(x) + s2(y) + s2(z);
+        grid[idx] = k2 > 0.0 ? grid[idx] * (-factor / k2) : Complex(0.0, 0.0);
+      }
+  fft.inverse(grid);
+
+  std::vector<double> phi(density.size());
+  for (std::size_t i = 0; i < phi.size(); ++i) phi[i] = grid[i].real();
+  return phi;
+}
+
+std::array<std::vector<double>, 3> PMSolver::solve_forces(
+    const std::vector<double>& density, double a) const {
+  const auto n = static_cast<std::size_t>(ng_);
+  const auto phi = potential(density, a);
+
+  std::array<std::vector<double>, 3> acc;
+  for (auto& g : acc) g.resize(phi.size());
+  auto at = [&](std::size_t x, std::size_t y, std::size_t z) {
+    return phi[(z * n + y) * n + x];
+  };
+  const std::size_t m = n - 1;  // power-of-two wrap mask
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x) {
+        const std::size_t idx = (z * n + y) * n + x;
+        acc[0][idx] = -0.5 * (at((x + 1) & m, y, z) - at((x + n - 1) & m, y, z));
+        acc[1][idx] = -0.5 * (at(x, (y + 1) & m, z) - at(x, (y + n - 1) & m, z));
+        acc[2][idx] = -0.5 * (at(x, y, (z + 1) & m) - at(x, y, (z + n - 1) & m));
+      }
+  return acc;
+}
+
+double PMSolver::interpolate(const std::vector<double>& field,
+                             const geom::Vec3& p) const {
+  const auto n = static_cast<std::size_t>(ng_);
+  if (field.size() != cells())
+    throw std::invalid_argument("PMSolver::interpolate: grid size mismatch");
+  const auto mask = static_cast<std::ptrdiff_t>(n) - 1;
+  const double gx = p.x - 0.5, gy = p.y - 0.5, gz = p.z - 0.5;
+  const auto i0 = static_cast<std::ptrdiff_t>(std::floor(gx));
+  const auto j0 = static_cast<std::ptrdiff_t>(std::floor(gy));
+  const auto k0 = static_cast<std::ptrdiff_t>(std::floor(gz));
+  const double fx = gx - static_cast<double>(i0);
+  const double fy = gy - static_cast<double>(j0);
+  const double fz = gz - static_cast<double>(k0);
+  double v = 0.0;
+  for (int dz = 0; dz < 2; ++dz)
+    for (int dy = 0; dy < 2; ++dy)
+      for (int dx = 0; dx < 2; ++dx) {
+        const auto i = static_cast<std::size_t>((i0 + dx) & mask);
+        const auto j = static_cast<std::size_t>((j0 + dy) & mask);
+        const auto k = static_cast<std::size_t>((k0 + dz) & mask);
+        const double w = (dx ? fx : 1.0 - fx) * (dy ? fy : 1.0 - fy) *
+                         (dz ? fz : 1.0 - fz);
+        v += w * field[(k * n + j) * n + i];
+      }
+  return v;
+}
+
+}  // namespace tess::hacc

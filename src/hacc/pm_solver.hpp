@@ -1,0 +1,52 @@
+// Particle-mesh gravity solver: cloud-in-cell deposit, spectral Poisson
+// solve with the finite-difference-consistent Green's function, and
+// central-difference force interpolation back to the particles. This is the
+// "spectral particle-mesh" force solver of the HACC triad, which dominates
+// the large-scale dynamics the tessellation analysis cares about.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "hacc/cosmology.hpp"
+#include "hacc/initial_conditions.hpp"
+
+namespace tess::hacc {
+
+class PMSolver {
+ public:
+  /// `ng` mesh cells per dimension (power of two); grid spacing is 1.
+  PMSolver(int ng, const Cosmology& cosmo);
+
+  [[nodiscard]] int ng() const { return ng_; }
+  [[nodiscard]] std::size_t cells() const {
+    const auto n = static_cast<std::size_t>(ng_);
+    return n * n * n;
+  }
+
+  /// CIC-deposit `mass` per particle onto `density` (accumulating; caller
+  /// zero-initializes). Positions are periodic grid coordinates.
+  void deposit(const std::vector<SimParticle>& particles, double mass,
+               std::vector<double>& density) const;
+
+  /// Given the mean-1 density grid, compute the overdensity delta = rho - 1,
+  /// solve laplacian(phi) = (3 Omega_m / 2a) delta spectrally, and return
+  /// the three acceleration components -grad(phi) by central differences.
+  [[nodiscard]] std::array<std::vector<double>, 3> solve_forces(
+      const std::vector<double>& density, double a) const;
+
+  /// Periodic CIC interpolation of a grid field at position p.
+  [[nodiscard]] double interpolate(const std::vector<double>& field,
+                                   const geom::Vec3& p) const;
+
+  /// Gravitational potential grid (diagnostics/tests).
+  [[nodiscard]] std::vector<double> potential(const std::vector<double>& density,
+                                              double a) const;
+
+ private:
+  int ng_;
+  Cosmology cosmo_;
+};
+
+}  // namespace tess::hacc

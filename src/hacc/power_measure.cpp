@@ -1,0 +1,78 @@
+#include "hacc/power_measure.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "hacc/fft.hpp"
+#include "hacc/pm_solver.hpp"
+
+namespace tess::hacc {
+
+std::vector<PowerBin> measure_power_spectrum(const std::vector<SimParticle>& particles,
+                                             int ng, double box,
+                                             std::size_t nbins) {
+  if (ng < 2 || box <= 0.0 || nbins < 1)
+    throw std::invalid_argument("measure_power_spectrum: bad arguments");
+  const auto n = static_cast<std::size_t>(ng);
+
+  // Density contrast on the mesh. Positions are rescaled to grid units so
+  // the PM solver's CIC deposit can be reused.
+  PMSolver pm(ng, Cosmology{});
+  std::vector<SimParticle> scaled = particles;
+  const double to_grid = static_cast<double>(ng) / box;
+  for (auto& p : scaled) p.pos *= to_grid;
+  std::vector<double> rho(pm.cells(), 0.0);
+  const double mass =
+      static_cast<double>(pm.cells()) / static_cast<double>(particles.size());
+  pm.deposit(scaled, mass, rho);
+
+  std::vector<Complex> grid(rho.size());
+  for (std::size_t i = 0; i < rho.size(); ++i) grid[i] = Complex(rho[i] - 1.0, 0.0);
+  Fft3D fft(n, n, n);
+  fft.forward(grid);
+
+  // Shell-average |delta_k|^2 with CIC window deconvolution. Physical
+  // wavenumber of mode m: 2*pi*m/box.
+  const double kf = 2.0 * std::numbers::pi / box;          // fundamental
+  const double knyq = kf * static_cast<double>(ng) / 2.0;  // mesh Nyquist
+  std::vector<PowerBin> bins(nbins);
+  auto mode = [&](std::size_t i) {
+    const auto ii = static_cast<std::ptrdiff_t>(i);
+    const auto half = static_cast<std::ptrdiff_t>(n / 2);
+    return static_cast<double>(ii <= half ? ii : ii - static_cast<std::ptrdiff_t>(n));
+  };
+  auto cic_window = [&](double m) {
+    // W(k) per axis = sinc^2(pi m / ng).
+    const double x = std::numbers::pi * m / static_cast<double>(ng);
+    if (x == 0.0) return 1.0;
+    const double s = std::sin(x) / x;
+    return s * s;
+  };
+  const double norm = std::pow(box, 3) /
+                      std::pow(static_cast<double>(grid.size()), 2);
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x) {
+        if (x == 0 && y == 0 && z == 0) continue;
+        const double mx = mode(x), my = mode(y), mz = mode(z);
+        const double k = kf * std::sqrt(mx * mx + my * my + mz * mz);
+        if (k >= knyq) continue;
+        const auto bin = static_cast<std::size_t>(k / knyq * static_cast<double>(nbins));
+        if (bin >= nbins) continue;
+        const double w = cic_window(mx) * cic_window(my) * cic_window(mz);
+        const double p = std::norm(grid[(z * n + y) * n + x]) * norm / (w * w);
+        bins[bin].k += k;
+        bins[bin].power += p;
+        ++bins[bin].modes;
+      }
+  for (auto& b : bins) {
+    if (b.modes > 0) {
+      b.k /= static_cast<double>(b.modes);
+      b.power /= static_cast<double>(b.modes);
+    }
+  }
+  return bins;
+}
+
+}  // namespace tess::hacc

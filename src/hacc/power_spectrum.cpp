@@ -1,0 +1,26 @@
+#include "hacc/power_spectrum.hpp"
+
+#include <cmath>
+
+namespace tess::hacc {
+
+PowerSpectrum::PowerSpectrum(const Cosmology& cosmo, double ns, double amplitude)
+    : cosmo_(cosmo), ns_(ns), amplitude_(amplitude) {}
+
+double PowerSpectrum::transfer(double k) const {
+  if (k <= 0.0) return 1.0;
+  // BBKS shape parameter Gamma = Omega_m h (baryons neglected).
+  const double gamma = cosmo_.omega_m * cosmo_.h;
+  const double q = k / (gamma > 0.0 ? gamma : 1.0);
+  const double poly = 1.0 + 3.89 * q + std::pow(16.1 * q, 2) +
+                      std::pow(5.46 * q, 3) + std::pow(6.71 * q, 4);
+  return std::log(1.0 + 2.34 * q) / (2.34 * q) * std::pow(poly, -0.25);
+}
+
+double PowerSpectrum::operator()(double k) const {
+  if (k <= 0.0) return 0.0;
+  const double t = transfer(k);
+  return amplitude_ * std::pow(k, ns_) * t * t;
+}
+
+}  // namespace tess::hacc

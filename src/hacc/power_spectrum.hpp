@@ -1,0 +1,32 @@
+// Linear matter power spectrum for the initial conditions: a power-law
+// primordial spectrum shaped by the BBKS (Bardeen, Bond, Kaiser, Szalay
+// 1986) cold-dark-matter transfer function. The overall amplitude is fixed
+// by the requested rms density fluctuation on the grid at a = 1 rather than
+// sigma8, which is the natural normalization for a self-contained PM box.
+#pragma once
+
+#include "hacc/cosmology.hpp"
+
+namespace tess::hacc {
+
+class PowerSpectrum {
+ public:
+  /// `ns` is the primordial spectral index; `k` below is in h/Mpc.
+  PowerSpectrum(const Cosmology& cosmo, double ns = 1.0, double amplitude = 1.0);
+
+  /// BBKS transfer function T(k).
+  [[nodiscard]] double transfer(double k) const;
+
+  /// P(k) = A k^ns T(k)^2 (unnormalized until `set_amplitude`).
+  [[nodiscard]] double operator()(double k) const;
+
+  void set_amplitude(double a) { amplitude_ = a; }
+  [[nodiscard]] double amplitude() const { return amplitude_; }
+
+ private:
+  Cosmology cosmo_;
+  double ns_;
+  double amplitude_;
+};
+
+}  // namespace tess::hacc

@@ -1,0 +1,74 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Cosmological initial conditions must be reproducible across rank counts,
+// so every consumer seeds its own xoshiro256++ stream from a (seed, stream)
+// pair instead of sharing one generator. xoshiro256++ is implemented here
+// directly (public-domain algorithm by Blackman & Vigna) so results do not
+// depend on the standard library's unspecified distributions.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace tess::util {
+
+/// xoshiro256++ generator with splitmix64 seeding.
+class Rng {
+ public:
+  /// Construct from a base seed and a stream id; distinct stream ids give
+  /// statistically independent sequences.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL, std::uint64_t stream = 0) {
+    std::uint64_t x = seed + 0x632be59bd9b4e019ULL * (stream + 1);
+    for (auto& si : s_) si = splitmix64(x);
+  }
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (no cached spare: keeps the stream
+  /// position a pure function of call count).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace tess::util

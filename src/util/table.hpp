@@ -1,0 +1,30 @@
+// Fixed-width ASCII table writer. The benchmark harness uses this to print
+// rows in the same layout as the paper's Tables I and II.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tess::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with sensible precision.
+  static std::string cell(double v, int precision = 2);
+  static std::string cell(std::size_t v);
+  static std::string cell(long long v);
+
+  /// Render with column-aligned padding and a header separator.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tess::util

@@ -1,0 +1,110 @@
+// Wall-clock timing utilities used by the tessellation pipeline to produce
+// the per-stage breakdown reported in the paper's Table II.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tess::util {
+
+/// Monotonic wall-clock stopwatch with pause/resume accumulation.
+///
+/// A Timer starts stopped; call start() to begin accumulating and stop() to
+/// pause. seconds() may be queried at any time and includes the currently
+/// running interval, so it is safe to read mid-measurement.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  /// Begin (or resume) accumulating time. Calling start() while already
+  /// running is a no-op.
+  void start() {
+    if (!running_) {
+      t0_ = clock::now();
+      running_ = true;
+    }
+  }
+
+  /// Pause accumulation. Calling stop() while stopped is a no-op.
+  void stop() {
+    if (running_) {
+      accum_ += clock::now() - t0_;
+      running_ = false;
+    }
+  }
+
+  /// Discard all accumulated time and stop.
+  void reset() {
+    accum_ = clock::duration::zero();
+    running_ = false;
+  }
+
+  /// Total accumulated seconds, including the in-flight interval if running.
+  [[nodiscard]] double seconds() const {
+    auto total = accum_;
+    if (running_) total += clock::now() - t0_;
+    return std::chrono::duration<double>(total).count();
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  clock::time_point t0_{};
+  clock::duration accum_{clock::duration::zero()};
+  bool running_ = false;
+};
+
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID).
+///
+/// When ranks execute as threads oversubscribed on few cores, a wall-clock
+/// timer on one rank also counts time spent descheduled while other ranks
+/// run, which makes per-rank stage timings meaningless. Thread CPU time
+/// counts only this rank's own work, so the max across ranks models the
+/// critical path of a genuinely distributed run. start/stop must be called
+/// from the same thread.
+class ThreadCpuTimer {
+ public:
+  void start() {
+    if (!running_) {
+      t0_ = now();
+      running_ = true;
+    }
+  }
+
+  void stop() {
+    if (running_) {
+      accum_ += now() - t0_;
+      running_ = false;
+    }
+  }
+
+  void reset() {
+    accum_ = 0.0;
+    running_ = false;
+  }
+
+  [[nodiscard]] double seconds() const {
+    return running_ ? accum_ + (now() - t0_) : accum_;
+  }
+
+ private:
+  static double now();
+
+  double t0_ = 0.0;
+  double accum_ = 0.0;
+  bool running_ = false;
+};
+
+/// RAII guard that runs a Timer for the duration of a scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& t) : t_(t) { t_.start(); }
+  ~ScopedTimer() { t_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer& t_;
+};
+
+}  // namespace tess::util

@@ -1,0 +1,140 @@
+// Tests for serialization buffers and the parallel blocked file format:
+// write/read round trips across rank counts, footer integrity, and error
+// handling on malformed files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "comm/comm.hpp"
+#include "diy/blockio.hpp"
+#include "diy/particle.hpp"
+#include "diy/serialize.hpp"
+
+using tess::comm::Comm;
+using tess::comm::Runtime;
+using tess::diy::BlockFileReader;
+using tess::diy::Buffer;
+using tess::diy::Particle;
+using tess::diy::write_blocks;
+
+namespace {
+
+std::string temp_path(const std::string& tag) {
+  return ::testing::TempDir() + "tess_blockio_" + tag + ".bin";
+}
+
+}  // namespace
+
+TEST(Buffer, ScalarRoundTrip) {
+  Buffer b;
+  b.write<int>(42);
+  b.write<double>(3.5);
+  b.write<std::int64_t>(-7);
+  Buffer r(b.data());
+  EXPECT_EQ(r.read<int>(), 42);
+  EXPECT_DOUBLE_EQ(r.read<double>(), 3.5);
+  EXPECT_EQ(r.read<std::int64_t>(), -7);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Buffer, VectorRoundTrip) {
+  Buffer b;
+  b.write_vector(std::vector<double>{1, 2, 3});
+  b.write_vector(std::vector<int>{});
+  Buffer r(b.data());
+  EXPECT_EQ(r.read_vector<double>(), (std::vector<double>{1, 2, 3}));
+  EXPECT_TRUE(r.read_vector<int>().empty());
+}
+
+TEST(Buffer, ReadPastEndThrows) {
+  Buffer b;
+  b.write<int>(1);
+  Buffer r(b.data());
+  r.read<int>();
+  EXPECT_THROW(r.read<int>(), std::runtime_error);
+}
+
+TEST(Buffer, ParticleRoundTrip) {
+  Buffer b;
+  std::vector<Particle> ps{{{1, 2, 3}, 10}, {{4, 5, 6}, 20}};
+  b.write_vector(ps);
+  Buffer r(b.data());
+  auto out = r.read_vector<Particle>();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].id, 20);
+  EXPECT_DOUBLE_EQ(out[1].pos.z, 6);
+}
+
+class BlockIoRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockIoRanks, WriteReadRoundTrip) {
+  const int nranks = GetParam();
+  const auto path = temp_path(std::to_string(nranks));
+  Runtime::run(nranks, [&](Comm& c) {
+    Buffer block;
+    block.write<int>(c.rank());
+    std::vector<double> payload(static_cast<std::size_t>(c.rank()) * 10 + 1,
+                                static_cast<double>(c.rank()));
+    block.write_vector(payload);
+    const auto total = write_blocks(c, path, block);
+    EXPECT_GT(total, 0u);
+  });
+
+  BlockFileReader reader(path);
+  ASSERT_EQ(reader.num_blocks(), nranks);
+  for (int b = 0; b < nranks; ++b) {
+    auto buf = reader.read_block(b);
+    EXPECT_EQ(buf.read<int>(), b);
+    const auto payload = buf.read_vector<double>();
+    EXPECT_EQ(payload.size(), static_cast<std::size_t>(b) * 10 + 1);
+    for (double v : payload) EXPECT_DOUBLE_EQ(v, static_cast<double>(b));
+    EXPECT_TRUE(buf.exhausted());
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, BlockIoRanks, ::testing::Values(1, 2, 3, 8));
+
+TEST(BlockIo, EmptyBlocksAllowed) {
+  const auto path = temp_path("empty");
+  Runtime::run(3, [&](Comm& c) {
+    Buffer block;
+    if (c.rank() == 1) block.write<int>(11);  // ranks 0 and 2 write nothing
+    write_blocks(c, path, block);
+  });
+  BlockFileReader reader(path);
+  EXPECT_EQ(reader.block_size(0), 0u);
+  EXPECT_GT(reader.block_size(1), 0u);
+  EXPECT_EQ(reader.read_block(1).read<int>(), 11);
+  std::remove(path.c_str());
+}
+
+TEST(BlockIo, RejectsGarbageFile) {
+  const auto path = temp_path("garbage");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a tess block file at all, but long enough to parse";
+  }
+  EXPECT_THROW(BlockFileReader reader(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BlockIo, RejectsMissingFile) {
+  EXPECT_THROW(BlockFileReader reader("/nonexistent/path/file.bin"),
+               std::runtime_error);
+}
+
+TEST(BlockIo, OutOfRangeBlockThrows) {
+  const auto path = temp_path("range");
+  Runtime::run(2, [&](Comm& c) {
+    Buffer block;
+    block.write<int>(c.rank());
+    write_blocks(c, path, block);
+  });
+  BlockFileReader reader(path);
+  EXPECT_THROW(reader.read_block(2), std::out_of_range);
+  EXPECT_THROW(reader.read_block(-1), std::out_of_range);
+  std::remove(path.c_str());
+}

@@ -1,0 +1,163 @@
+// Tests for the grid-accelerated cell builder: exactness against brute
+// force, the partition-of-space property (cell volumes sum to the box
+// volume), and completeness classification near boundaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/cell_builder.hpp"
+#include "util/rng.hpp"
+
+namespace tg = tess::geom;
+using tg::CellBuilder;
+using tg::Vec3;
+using tess::util::Rng;
+
+namespace {
+
+std::vector<Vec3> random_points(std::uint64_t seed, int n, double lo = 0.0,
+                                double hi = 1.0) {
+  Rng rng(seed);
+  std::vector<Vec3> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(lo, hi), rng.uniform(lo, hi), rng.uniform(lo, hi)});
+  return pts;
+}
+
+// Reference: clip against every other point, no grid, no security radius.
+tg::VoronoiCell brute_force_cell(const std::vector<Vec3>& pts, int site,
+                                 const Vec3& lo, const Vec3& hi) {
+  tg::VoronoiCell cell(pts[static_cast<std::size_t>(site)], lo, hi);
+  for (int j = 0; j < static_cast<int>(pts.size()); ++j) {
+    if (j == site) continue;
+    cell.cut(pts[static_cast<std::size_t>(j)], j);
+    if (cell.empty()) break;
+  }
+  return cell;
+}
+
+}  // namespace
+
+TEST(CellBuilder, MatchesBruteForce) {
+  const auto pts = random_points(77, 100);
+  CellBuilder builder(pts, {}, {0, 0, 0}, {1, 1, 1});
+  for (int s = 0; s < 100; s += 7) {
+    auto fast = builder.build(s, {0, 0, 0}, {1, 1, 1});
+    auto ref = brute_force_cell(pts, s, {0, 0, 0}, {1, 1, 1});
+    EXPECT_NEAR(fast.volume(), ref.volume(), 1e-10) << "site " << s;
+    EXPECT_NEAR(fast.area(), ref.area(), 1e-9) << "site " << s;
+    EXPECT_EQ(fast.neighbor_ids(), ref.neighbor_ids()) << "site " << s;
+  }
+}
+
+class CellPartition : public ::testing::TestWithParam<int> {};
+
+TEST_P(CellPartition, VolumesSumToBox) {
+  const int n = GetParam();
+  const auto pts = random_points(static_cast<std::uint64_t>(n), n);
+  CellBuilder builder(pts, {}, {0, 0, 0}, {1, 1, 1});
+  double total = 0.0;
+  for (int s = 0; s < n; ++s)
+    total += builder.build(s, {0, 0, 0}, {1, 1, 1}).volume();
+  // Voronoi cells clipped to the box partition it exactly.
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CellPartition, ::testing::Values(2, 5, 20, 100, 400));
+
+TEST(CellBuilder, SiteContainedInOwnCell) {
+  const auto pts = random_points(5, 200);
+  CellBuilder builder(pts, {}, {0, 0, 0}, {1, 1, 1});
+  for (int s = 0; s < 200; s += 11) {
+    auto cell = builder.build(s, {0, 0, 0}, {1, 1, 1});
+    ASSERT_FALSE(cell.empty());
+    // Site must be strictly closer to itself than to all face planes: all
+    // cell vertices are at least as far from any other site.
+    const Vec3& site = pts[static_cast<std::size_t>(s)];
+    for (const auto& f : cell.faces()) {
+      if (f.source < 0) continue;
+      const Vec3& nb = pts[static_cast<std::size_t>(f.source)];
+      for (int v : f.verts) {
+        const Vec3& x = cell.vertices()[static_cast<std::size_t>(v)];
+        EXPECT_LE(tg::dist2(x, site), tg::dist2(x, nb) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(CellBuilder, InteriorCellsCompleteBoundaryCellsNot) {
+  // Regular 5x5x5 lattice, spacing 1, inside [0,5)^3 box grown by nothing:
+  // cells of boundary-layer sites touch the seed box and are incomplete.
+  std::vector<Vec3> pts;
+  for (int x = 0; x < 5; ++x)
+    for (int y = 0; y < 5; ++y)
+      for (int z = 0; z < 5; ++z) pts.push_back({x + 0.5, y + 0.5, z + 0.5});
+  CellBuilder builder(pts, {}, {0, 0, 0}, {5, 5, 5});
+  int complete = 0;
+  for (int s = 0; s < static_cast<int>(pts.size()); ++s) {
+    auto cell = builder.build(s, {0, 0, 0}, {5, 5, 5});
+    if (cell.complete()) {
+      ++complete;
+      EXPECT_NEAR(cell.volume(), 1.0, 1e-12);
+    }
+  }
+  // Only the 3x3x3 interior sites are complete.
+  EXPECT_EQ(complete, 27);
+}
+
+TEST(CellBuilder, GlobalIdsUsedAsFaceSources) {
+  const auto pts = random_points(9, 50);
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 50; ++i) ids.push_back(1000 + i);
+  CellBuilder builder(pts, ids, {0, 0, 0}, {1, 1, 1});
+  auto cell = builder.build(10, {0, 0, 0}, {1, 1, 1});
+  for (auto nb : cell.neighbor_ids()) {
+    EXPECT_GE(nb, 1000);
+    EXPECT_LT(nb, 1050);
+    EXPECT_NE(nb, 1010);  // never its own site
+  }
+}
+
+TEST(CellBuilder, TwoPointsSplitBox) {
+  const std::vector<Vec3> pts{{0.25, 0.5, 0.5}, {0.75, 0.5, 0.5}};
+  CellBuilder builder(pts, {}, {0, 0, 0}, {1, 1, 1});
+  auto c0 = builder.build(0, {0, 0, 0}, {1, 1, 1});
+  auto c1 = builder.build(1, {0, 0, 0}, {1, 1, 1});
+  EXPECT_NEAR(c0.volume(), 0.5, 1e-12);
+  EXPECT_NEAR(c1.volume(), 0.5, 1e-12);
+  EXPECT_FALSE(c0.complete());
+}
+
+TEST(CellBuilder, DuplicatePointsDoNotCrash) {
+  std::vector<Vec3> pts{{0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}, {0.2, 0.2, 0.2}};
+  CellBuilder builder(pts, {}, {0, 0, 0}, {1, 1, 1});
+  auto cell = builder.build(0, {0, 0, 0}, {1, 1, 1});
+  EXPECT_GE(cell.volume(), 0.0);
+}
+
+TEST(CellBuilder, ClusteredPointsStillPartition) {
+  // Heavily clustered distribution (mimics evolved cosmological particles):
+  // two tight clusters plus sparse background.
+  Rng rng(31337);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 150; ++i)
+    pts.push_back({0.2 + 0.02 * rng.normal(), 0.2 + 0.02 * rng.normal(),
+                   0.2 + 0.02 * rng.normal()});
+  for (int i = 0; i < 150; ++i)
+    pts.push_back({0.8 + 0.02 * rng.normal(), 0.7 + 0.02 * rng.normal(),
+                   0.6 + 0.02 * rng.normal()});
+  for (int i = 0; i < 20; ++i)
+    pts.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  // Clamp into the box.
+  for (auto& p : pts) {
+    p.x = std::clamp(p.x, 0.001, 0.999);
+    p.y = std::clamp(p.y, 0.001, 0.999);
+    p.z = std::clamp(p.z, 0.001, 0.999);
+  }
+  CellBuilder builder(pts, {}, {0, 0, 0}, {1, 1, 1});
+  double total = 0.0;
+  for (int s = 0; s < static_cast<int>(pts.size()); ++s)
+    total += builder.build(s, {0, 0, 0}, {1, 1, 1}).volume();
+  EXPECT_NEAR(total, 1.0, 1e-8);
+}

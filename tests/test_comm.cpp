@@ -1,0 +1,185 @@
+// Tests for the message-passing runtime that substitutes for MPI: point to
+// point ordering, collectives, and scan semantics across rank counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "comm/comm.hpp"
+
+using tess::comm::Comm;
+using tess::comm::Runtime;
+
+TEST(Comm, SingleRank) {
+  Runtime::run(1, [](Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    EXPECT_EQ(c.allreduce_sum(5), 5);
+    auto g = c.allgather(3.5);
+    ASSERT_EQ(g.size(), 1u);
+    EXPECT_EQ(g[0], 3.5);
+  });
+}
+
+TEST(Comm, PingPong) {
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 10, 42);
+      EXPECT_EQ(c.recv_value<int>(1, 11), 43);
+    } else {
+      EXPECT_EQ(c.recv_value<int>(0, 10), 42);
+      c.send_value(0, 11, 43);
+    }
+  });
+}
+
+TEST(Comm, MessagesFromSameSourceKeepOrder) {
+  Runtime::run(2, [](Comm& c) {
+    constexpr int kN = 500;
+    if (c.rank() == 0) {
+      for (int i = 0; i < kN; ++i) c.send_value(1, 7, i);
+    } else {
+      for (int i = 0; i < kN; ++i) EXPECT_EQ(c.recv_value<int>(0, 7), i);
+    }
+  });
+}
+
+TEST(Comm, TagsSelectMessages) {
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 1, 100);
+      c.send_value(1, 2, 200);
+    } else {
+      // Receive in reverse tag order.
+      EXPECT_EQ(c.recv_value<int>(0, 2), 200);
+      EXPECT_EQ(c.recv_value<int>(0, 1), 100);
+    }
+  });
+}
+
+TEST(Comm, EmptyMessage) {
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, 0, std::vector<double>{});
+    } else {
+      EXPECT_TRUE(c.recv<double>(0, 0).empty());
+    }
+  });
+}
+
+class CommCollectives : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommCollectives, Barrier) {
+  const int n = GetParam();
+  std::atomic<int> arrivals{0};
+  Runtime::run(n, [&](Comm& c) {
+    arrivals.fetch_add(1);
+    c.barrier();
+    EXPECT_EQ(arrivals.load(), n);
+  });
+}
+
+TEST_P(CommCollectives, Broadcast) {
+  const int n = GetParam();
+  Runtime::run(n, [&](Comm& c) {
+    std::vector<int> data;
+    if (c.rank() == 0) data = {1, 2, 3, 4};
+    c.broadcast(data, 0);
+    EXPECT_EQ(data, (std::vector<int>{1, 2, 3, 4}));
+  });
+}
+
+TEST_P(CommCollectives, AllreduceSum) {
+  const int n = GetParam();
+  Runtime::run(n, [&](Comm& c) {
+    const int total = c.allreduce_sum(c.rank() + 1);
+    EXPECT_EQ(total, n * (n + 1) / 2);
+  });
+}
+
+TEST_P(CommCollectives, AllreduceMinMax) {
+  const int n = GetParam();
+  Runtime::run(n, [&](Comm& c) {
+    EXPECT_EQ(c.allreduce_min(c.rank()), 0);
+    EXPECT_EQ(c.allreduce_max(c.rank()), n - 1);
+    EXPECT_DOUBLE_EQ(c.allreduce_max(static_cast<double>(c.rank()) * 0.5),
+                     (n - 1) * 0.5);
+  });
+}
+
+TEST_P(CommCollectives, GatherKeepsRankOrder) {
+  const int n = GetParam();
+  Runtime::run(n, [&](Comm& c) {
+    auto all = c.gather(c.rank() * 10, 0);
+    if (c.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 10);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST_P(CommCollectives, AllgatherEverywhere) {
+  const int n = GetParam();
+  Runtime::run(n, [&](Comm& c) {
+    auto all = c.allgather(c.rank());
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r);
+  });
+}
+
+TEST_P(CommCollectives, GathervConcatenatesInRankOrder) {
+  const int n = GetParam();
+  Runtime::run(n, [&](Comm& c) {
+    // Rank r contributes r copies of r.
+    std::vector<int> mine(static_cast<std::size_t>(c.rank()), c.rank());
+    auto all = c.gatherv(mine, 0);
+    if (c.rank() == 0) {
+      std::vector<int> expect;
+      for (int r = 0; r < n; ++r)
+        expect.insert(expect.end(), static_cast<std::size_t>(r), r);
+      EXPECT_EQ(all, expect);
+    }
+  });
+}
+
+TEST_P(CommCollectives, ExscanSum) {
+  const int n = GetParam();
+  Runtime::run(n, [&](Comm& c) {
+    const long long prefix = c.exscan_sum<long long>(c.rank() + 1);
+    // Exclusive prefix of 1,2,...: rank r gets r(r+1)/2.
+    EXPECT_EQ(prefix, static_cast<long long>(c.rank()) * (c.rank() + 1) / 2);
+  });
+}
+
+TEST_P(CommCollectives, RepeatedCollectivesDoNotCross) {
+  const int n = GetParam();
+  Runtime::run(n, [&](Comm& c) {
+    for (int iter = 0; iter < 20; ++iter) {
+      EXPECT_EQ(c.allreduce_sum(iter), iter * n);
+      c.barrier();
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CommCollectives, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Comm, TrafficAccounting) {
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) c.send(1, 0, std::vector<double>(100));
+    if (c.rank() == 1) c.recv<double>(0, 0);
+    c.barrier();
+    EXPECT_GE(c.traffic_bytes(), 100 * sizeof(double));
+  });
+}
+
+TEST(Comm, ExceptionPropagates) {
+  EXPECT_THROW(Runtime::run(1, [](Comm&) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+}
+
+TEST(Comm, InvalidRankCountThrows) {
+  EXPECT_THROW(Runtime::run(0, [](Comm&) {}), std::invalid_argument);
+}

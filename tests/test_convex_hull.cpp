@@ -1,0 +1,167 @@
+// Unit and property tests for the quickhull convex hull: exact solids,
+// interior-point pruning, degeneracies, and randomized invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "geom/convex_hull.hpp"
+#include "geom/predicates.hpp"
+#include "util/rng.hpp"
+
+namespace tg = tess::geom;
+using tess::util::Rng;
+
+namespace {
+
+std::vector<tg::Vec3> unit_cube_corners() {
+  std::vector<tg::Vec3> pts;
+  for (int i = 0; i < 8; ++i)
+    pts.push_back({static_cast<double>(i & 1), static_cast<double>((i >> 1) & 1),
+                   static_cast<double>((i >> 2) & 1)});
+  return pts;
+}
+
+// Validates that `faces` forms a closed 2-manifold: each directed edge's
+// reverse appears exactly once.
+void expect_closed_surface(const std::vector<std::array<int, 3>>& faces) {
+  std::vector<std::pair<int, int>> edges;
+  for (const auto& f : faces)
+    for (int s = 0; s < 3; ++s) edges.emplace_back(f[s], f[(s + 1) % 3]);
+  for (const auto& [u, v] : edges) {
+    const auto n = std::count(edges.begin(), edges.end(), std::make_pair(v, u));
+    EXPECT_EQ(n, 1) << "edge (" << u << "," << v << ")";
+  }
+}
+
+}  // namespace
+
+TEST(ConvexHull, UnitCube) {
+  const auto hull = tg::convex_hull(unit_cube_corners());
+  ASSERT_FALSE(hull.degenerate);
+  EXPECT_EQ(hull.vertices.size(), 8u);
+  EXPECT_EQ(hull.faces.size(), 12u);  // 6 quads triangulated
+  EXPECT_NEAR(hull.volume, 1.0, 1e-12);
+  EXPECT_NEAR(hull.area, 6.0, 1e-12);
+  expect_closed_surface(hull.faces);
+}
+
+TEST(ConvexHull, InteriorPointsIgnored) {
+  auto pts = unit_cube_corners();
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i)
+    pts.push_back({0.1 + 0.8 * rng.uniform(), 0.1 + 0.8 * rng.uniform(),
+                   0.1 + 0.8 * rng.uniform()});
+  const auto hull = tg::convex_hull(pts);
+  ASSERT_FALSE(hull.degenerate);
+  EXPECT_EQ(hull.vertices.size(), 8u);
+  EXPECT_NEAR(hull.volume, 1.0, 1e-12);
+  EXPECT_NEAR(hull.area, 6.0, 1e-12);
+}
+
+TEST(ConvexHull, RegularTetrahedron) {
+  const std::vector<tg::Vec3> pts{{1, 1, 1}, {1, -1, -1}, {-1, 1, -1}, {-1, -1, 1}};
+  const auto hull = tg::convex_hull(pts);
+  ASSERT_FALSE(hull.degenerate);
+  EXPECT_EQ(hull.faces.size(), 4u);
+  // Edge length 2*sqrt(2): V = a^3/(6 sqrt 2), A = sqrt(3) a^2.
+  const double a = 2.0 * std::sqrt(2.0);
+  EXPECT_NEAR(hull.volume, a * a * a / (6.0 * std::sqrt(2.0)), 1e-12);
+  EXPECT_NEAR(hull.area, std::sqrt(3.0) * a * a, 1e-12);
+}
+
+TEST(ConvexHull, OctahedronVolume) {
+  const std::vector<tg::Vec3> pts{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0},
+                                  {0, -1, 0}, {0, 0, 1}, {0, 0, -1}};
+  const auto hull = tg::convex_hull(pts);
+  ASSERT_FALSE(hull.degenerate);
+  EXPECT_EQ(hull.faces.size(), 8u);
+  EXPECT_NEAR(hull.volume, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(hull.area, 2.0 * std::sqrt(3.0) * 2.0, 1e-12);  // 8 * sqrt(3)/4 * a^2, a = sqrt 2
+}
+
+TEST(ConvexHull, DegenerateInputs) {
+  EXPECT_TRUE(tg::convex_hull({}).degenerate);
+  EXPECT_TRUE(tg::convex_hull({{0, 0, 0}}).degenerate);
+  EXPECT_TRUE(tg::convex_hull({{0, 0, 0}, {1, 1, 1}}).degenerate);
+  // Collinear.
+  EXPECT_TRUE(tg::convex_hull({{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}}).degenerate);
+  // Coplanar.
+  EXPECT_TRUE(
+      tg::convex_hull({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}, {0.5, 0.5, 0}})
+          .degenerate);
+  // All coincident.
+  EXPECT_TRUE(tg::convex_hull({{2, 2, 2}, {2, 2, 2}, {2, 2, 2}, {2, 2, 2}}).degenerate);
+}
+
+TEST(ConvexHull, DuplicatePointsOnHull) {
+  auto pts = unit_cube_corners();
+  auto dup = pts;
+  pts.insert(pts.end(), dup.begin(), dup.end());
+  const auto hull = tg::convex_hull(pts);
+  ASSERT_FALSE(hull.degenerate);
+  EXPECT_NEAR(hull.volume, 1.0, 1e-12);
+}
+
+TEST(ConvexHull, SpherePointsAllOnHull) {
+  Rng rng(42);
+  std::vector<tg::Vec3> pts;
+  for (int i = 0; i < 300; ++i) {
+    tg::Vec3 v{rng.normal(), rng.normal(), rng.normal()};
+    pts.push_back(normalized(v));
+  }
+  const auto hull = tg::convex_hull(pts);
+  ASSERT_FALSE(hull.degenerate);
+  EXPECT_EQ(hull.vertices.size(), pts.size());
+  // Euler: V - E + F = 2 with E = 3F/2 for a triangulation.
+  EXPECT_EQ(hull.vertices.size() - 3 * hull.faces.size() / 2 + hull.faces.size(), 2u);
+  // Volume and area approach the unit sphere from below.
+  EXPECT_LT(hull.volume, 4.0 / 3.0 * std::numbers::pi);
+  EXPECT_GT(hull.volume, 0.9 * 4.0 / 3.0 * std::numbers::pi);
+  EXPECT_LT(hull.area, 4.0 * std::numbers::pi);
+  EXPECT_GT(hull.area, 0.9 * 4.0 * std::numbers::pi);
+  expect_closed_surface(hull.faces);
+}
+
+// Property sweep: random point clouds of varying size must produce hulls
+// that contain every input point (verified with the exact predicate).
+class HullContainment : public ::testing::TestWithParam<int> {};
+
+TEST_P(HullContainment, AllPointsInsideOrOn) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<tg::Vec3> pts;
+  const int n = GetParam();
+  for (int i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)});
+  const auto hull = tg::convex_hull(pts);
+  ASSERT_FALSE(hull.degenerate);
+  expect_closed_surface(hull.faces);
+  for (const auto& p : pts)
+    for (const auto& f : hull.faces) {
+      // No point may be strictly outside any face.
+      EXPECT_GE(tg::orient3d(pts[static_cast<std::size_t>(f[0])],
+                             pts[static_cast<std::size_t>(f[1])],
+                             pts[static_cast<std::size_t>(f[2])], p),
+                0);
+    }
+  EXPECT_GT(hull.volume, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomClouds, HullContainment,
+                         ::testing::Values(4, 5, 8, 16, 32, 64, 128, 256));
+
+TEST(ConvexHull, GridPointsExactVolume) {
+  // Integer lattice in a cube: many cospherical/coplanar subsets exercise
+  // the exact predicate paths.
+  std::vector<tg::Vec3> pts;
+  for (int x = 0; x <= 3; ++x)
+    for (int y = 0; y <= 3; ++y)
+      for (int z = 0; z <= 3; ++z)
+        pts.push_back({static_cast<double>(x), static_cast<double>(y),
+                       static_cast<double>(z)});
+  const auto hull = tg::convex_hull(pts);
+  ASSERT_FALSE(hull.degenerate);
+  EXPECT_NEAR(hull.volume, 27.0, 1e-10);
+  EXPECT_NEAR(hull.area, 54.0, 1e-10);
+}

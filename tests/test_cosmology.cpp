@@ -1,0 +1,79 @@
+// Tests for the background cosmology and the BBKS power spectrum shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hacc/cosmology.hpp"
+#include "hacc/power_spectrum.hpp"
+
+using tess::hacc::Cosmology;
+using tess::hacc::PowerSpectrum;
+
+TEST(Cosmology, HubbleRateToday) {
+  Cosmology eds{1.0, 0.0, 0.7};
+  EXPECT_DOUBLE_EQ(eds.expansion_rate(1.0), 1.0);
+  Cosmology lcdm{0.3, 0.7, 0.7};
+  EXPECT_DOUBLE_EQ(lcdm.expansion_rate(1.0), 1.0);
+}
+
+TEST(Cosmology, EdSScalings) {
+  Cosmology eds{1.0, 0.0, 0.7};
+  // E(a) = a^{-3/2}, D(a) = a, f(a) = sqrt(a).
+  EXPECT_NEAR(eds.expansion_rate(0.25), std::pow(0.25, -1.5), 1e-12);
+  EXPECT_DOUBLE_EQ(eds.growth(0.37), 0.37);
+  EXPECT_DOUBLE_EQ(eds.growth_rate(0.5), 1.0);
+  EXPECT_NEAR(eds.f_of_a(0.49), std::sqrt(0.49), 1e-12);
+}
+
+TEST(Cosmology, LcdmGrowthSuppressed) {
+  // Dark energy suppresses late-time growth: D(a) < a for a < 1, D(1) = 1.
+  Cosmology lcdm{0.3, 0.7, 0.7};
+  EXPECT_NEAR(lcdm.growth(1.0), 1.0, 1e-12);
+  EXPECT_GT(lcdm.growth(0.5), 0.5);  // normalized at 1, so earlier D/a > 1
+  // Monotonic in a.
+  double prev = 0.0;
+  for (double a = 0.1; a <= 1.0; a += 0.1) {
+    const double d = lcdm.growth(a);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+  EXPECT_GT(lcdm.growth_rate(0.9), 0.0);
+}
+
+TEST(Cosmology, OmegaK) {
+  Cosmology open{0.3, 0.0, 0.7};
+  EXPECT_NEAR(open.omega_k(), 0.7, 1e-12);
+}
+
+TEST(PowerSpectrum, TransferLimits) {
+  Cosmology c{1.0, 0.0, 0.5};
+  PowerSpectrum pk(c);
+  EXPECT_NEAR(pk.transfer(1e-6), 1.0, 1e-3);  // T -> 1 on large scales
+  EXPECT_LT(pk.transfer(10.0), 0.01);         // strongly damped small scales
+  // Monotone decreasing.
+  double prev = 1.0;
+  for (double k = 0.01; k < 10.0; k *= 2.0) {
+    const double t = pk.transfer(k);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PowerSpectrum, ShapeHasTurnover) {
+  // P(k) = k T(k)^2 rises on large scales and falls on small scales.
+  Cosmology c{1.0, 0.0, 0.5};
+  PowerSpectrum pk(c, 1.0, 1.0);
+  EXPECT_GT(pk(0.02), pk(0.002));
+  EXPECT_GT(pk(0.05), pk(5.0));
+  EXPECT_DOUBLE_EQ(pk(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pk(-1.0), 0.0);
+}
+
+TEST(PowerSpectrum, AmplitudeScales) {
+  Cosmology c{1.0, 0.0, 0.5};
+  PowerSpectrum pk(c, 1.0, 2.0);
+  PowerSpectrum pk1(c, 1.0, 1.0);
+  EXPECT_NEAR(pk(0.3), 2.0 * pk1(0.3), 1e-12);
+  pk.set_amplitude(5.0);
+  EXPECT_NEAR(pk(0.3), 5.0 * pk1(0.3), 1e-12);
+}

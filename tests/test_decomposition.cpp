@@ -1,0 +1,147 @@
+// Tests for the regular block decomposition: bounds tiling, point lookup,
+// neighbor symmetry, and periodic shifts.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "diy/decomposition.hpp"
+#include "util/rng.hpp"
+
+using tess::diy::Bounds;
+using tess::diy::Decomposition;
+using tess::diy::Neighbor;
+using tess::geom::Vec3;
+using tess::util::Rng;
+
+TEST(Bounds, ContainsAndDistance) {
+  Bounds b{{0, 0, 0}, {1, 2, 3}};
+  EXPECT_TRUE(b.contains({0.5, 1.0, 2.9}));
+  EXPECT_TRUE(b.contains({0, 0, 0}));       // min inclusive
+  EXPECT_FALSE(b.contains({1, 0.5, 0.5}));  // max exclusive
+  EXPECT_DOUBLE_EQ(b.distance({0.5, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(b.distance({-1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(b.distance({2, 3, 3}), std::sqrt(2.0));
+}
+
+TEST(Bounds, Grown) {
+  Bounds b{{0, 0, 0}, {1, 1, 1}};
+  const auto g = b.grown(0.25);
+  EXPECT_DOUBLE_EQ(g.min.x, -0.25);
+  EXPECT_DOUBLE_EQ(g.max.z, 1.25);
+}
+
+TEST(Decomposition, FactorNearCubic) {
+  EXPECT_EQ(Decomposition::factor(1), (std::array<int, 3>{1, 1, 1}));
+  EXPECT_EQ(Decomposition::factor(8), (std::array<int, 3>{2, 2, 2}));
+  EXPECT_EQ(Decomposition::factor(64), (std::array<int, 3>{4, 4, 4}));
+  const auto f12 = Decomposition::factor(12);
+  EXPECT_EQ(f12[0] * f12[1] * f12[2], 12);
+  const auto f7 = Decomposition::factor(7);
+  EXPECT_EQ(f7[0] * f7[1] * f7[2], 7);
+}
+
+TEST(Decomposition, BlockBoundsTileDomain) {
+  Decomposition d({0, 0, 0}, {10, 10, 10}, {2, 2, 2}, false);
+  double vol = 0.0;
+  for (int b = 0; b < d.num_blocks(); ++b) {
+    const auto bb = d.block_bounds(b);
+    vol += (bb.max.x - bb.min.x) * (bb.max.y - bb.min.y) * (bb.max.z - bb.min.z);
+  }
+  EXPECT_DOUBLE_EQ(vol, 1000.0);
+}
+
+TEST(Decomposition, BlockOfPointConsistent) {
+  Decomposition d({0, 0, 0}, {1, 1, 1}, {3, 2, 4}, false);
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const Vec3 p{rng.uniform(), rng.uniform(), rng.uniform()};
+    const int b = d.block_of_point(p);
+    EXPECT_TRUE(d.block_bounds(b).contains(p));
+  }
+}
+
+TEST(Decomposition, IndexRoundTrip) {
+  Decomposition d({0, 0, 0}, {1, 1, 1}, {3, 4, 5}, true);
+  for (int b = 0; b < d.num_blocks(); ++b)
+    EXPECT_EQ(d.block_index(d.block_coords(b)), b);
+  EXPECT_THROW(d.block_coords(d.num_blocks()), std::out_of_range);
+}
+
+TEST(Decomposition, NonPeriodicCornerHas7Neighbors) {
+  Decomposition d({0, 0, 0}, {1, 1, 1}, {2, 2, 2}, false);
+  EXPECT_EQ(d.neighbors(0).size(), 7u);  // corner block of a 2x2x2 grid
+  for (const auto& nb : d.neighbors(0))
+    EXPECT_EQ(nb.shift, (Vec3{0, 0, 0}));
+}
+
+TEST(Decomposition, PeriodicBlockHas26NeighborRelations) {
+  Decomposition d({0, 0, 0}, {1, 1, 1}, {3, 3, 3}, true);
+  // 3^3 grid: all 26 neighbor blocks are distinct.
+  EXPECT_EQ(d.neighbors(13).size(), 26u);  // center block, no shifts
+  for (const auto& nb : d.neighbors(13)) EXPECT_EQ(nb.shift, (Vec3{0, 0, 0}));
+  // Corner block: all 26 relations exist, some with shifts.
+  const auto nbrs = d.neighbors(0);
+  EXPECT_EQ(nbrs.size(), 26u);
+  int shifted = 0;
+  for (const auto& nb : nbrs)
+    if (!(nb.shift == Vec3{0, 0, 0})) ++shifted;
+  EXPECT_GT(shifted, 0);
+}
+
+TEST(Decomposition, PeriodicShiftMovesPointAcrossDomain) {
+  Decomposition d({0, 0, 0}, {10, 10, 10}, {2, 1, 1}, true);
+  // Block 0 spans x in [0,5); its -x neighbor is block 1 with shift +10.
+  bool found = false;
+  for (const auto& nb : d.neighbors(0)) {
+    if (nb.block == 1 && nb.shift == (Vec3{10, 0, 0})) {
+      found = true;
+      // A particle at x=0.1 imaged for that neighbor lands at x=10.1, just
+      // outside block 1's high edge — the correct ghost position.
+      const Vec3 img = Vec3{0.1, 5, 5} + nb.shift;
+      EXPECT_NEAR(d.block_bounds(1).distance(img), 0.1, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Decomposition, NeighborSymmetry) {
+  // If A has neighbor (B, s) then B has neighbor (A, -s).
+  for (bool periodic : {false, true}) {
+    Decomposition d({0, 0, 0}, {1, 1, 1}, {2, 3, 2}, periodic);
+    for (int a = 0; a < d.num_blocks(); ++a)
+      for (const auto& nb : d.neighbors(a)) {
+        const auto back = d.neighbors(nb.block);
+        const Neighbor expect{a, -nb.shift};
+        EXPECT_NE(std::find(back.begin(), back.end(), expect), back.end())
+            << "block " << a << " -> " << nb.block << " periodic " << periodic;
+      }
+  }
+}
+
+TEST(Decomposition, SingleBlockPeriodicSelfNeighbors) {
+  Decomposition d({0, 0, 0}, {1, 1, 1}, {1, 1, 1}, true);
+  const auto nbrs = d.neighbors(0);
+  EXPECT_FALSE(nbrs.empty());
+  for (const auto& nb : nbrs) {
+    EXPECT_EQ(nb.block, 0);
+    EXPECT_FALSE(nb.shift == (Vec3{0, 0, 0}));  // all are wrap images
+  }
+}
+
+TEST(Decomposition, WrapPoint) {
+  Decomposition d({0, 0, 0}, {10, 10, 10}, {2, 2, 2}, true);
+  const Vec3 w = d.wrap({-1, 11, 5});
+  EXPECT_DOUBLE_EQ(w.x, 9);
+  EXPECT_DOUBLE_EQ(w.y, 1);
+  EXPECT_DOUBLE_EQ(w.z, 5);
+  Decomposition dn({0, 0, 0}, {10, 10, 10}, {2, 2, 2}, false);
+  EXPECT_DOUBLE_EQ(dn.wrap({-1, 11, 5}).x, -1);  // no-op
+}
+
+TEST(Decomposition, InvalidArgumentsThrow) {
+  EXPECT_THROW(Decomposition({0, 0, 0}, {1, 1, 1}, {0, 1, 1}, false),
+               std::invalid_argument);
+  EXPECT_THROW(Decomposition({0, 0, 0}, {0, 1, 1}, {1, 1, 1}, false),
+               std::invalid_argument);
+  EXPECT_THROW(Decomposition::factor(0), std::invalid_argument);
+}

@@ -1,0 +1,123 @@
+// Tests for the Delaunay dual extraction: tetrahedra recovered from Voronoi
+// vertex generators must satisfy the empty-circumsphere property.
+#include <gtest/gtest.h>
+
+#include "geom/cell_builder.hpp"
+#include "geom/delaunay.hpp"
+#include "geom/predicates.hpp"
+#include "util/rng.hpp"
+
+namespace tg = tess::geom;
+using tg::Vec3;
+using tess::util::Rng;
+
+namespace {
+
+struct CellSet {
+  std::vector<Vec3> pts;
+  std::vector<tg::VoronoiCell> cells;
+  std::vector<std::int64_t> ids;
+};
+
+CellSet build_cells(std::uint64_t seed, int n) {
+  Rng rng(seed);
+  CellSet cs;
+  for (int i = 0; i < n; ++i) {
+    cs.pts.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    cs.ids.push_back(i);
+  }
+  tg::CellBuilder builder(cs.pts, cs.ids, {0, 0, 0}, {1, 1, 1});
+  for (int i = 0; i < n; ++i)
+    cs.cells.push_back(builder.build(i, {0, 0, 0}, {1, 1, 1}));
+  return cs;
+}
+
+}  // namespace
+
+TEST(Delaunay, TetsExistForInteriorSites) {
+  auto cs = build_cells(101, 300);
+  auto tets = tg::delaunay_from_cells(cs.cells, cs.ids);
+  EXPECT_GT(tets.size(), 0u);
+}
+
+TEST(Delaunay, EmptyCircumsphereProperty) {
+  auto cs = build_cells(202, 200);
+  auto tets = tg::delaunay_from_cells(cs.cells, cs.ids);
+  ASSERT_GT(tets.size(), 0u);
+  // Check every tet against every site: no site may be strictly inside the
+  // circumsphere. (insphere sign depends on orientation; normalize.)
+  std::size_t checked = 0;
+  for (const auto& t : tets) {
+    const Vec3& a = cs.pts[static_cast<std::size_t>(t.v[0])];
+    const Vec3& b = cs.pts[static_cast<std::size_t>(t.v[1])];
+    const Vec3& c = cs.pts[static_cast<std::size_t>(t.v[2])];
+    const Vec3& d = cs.pts[static_cast<std::size_t>(t.v[3])];
+    const int orient = tg::orient3d(a, b, c, d);
+    if (orient == 0) continue;  // degenerate sliver from cospherical sites
+    for (std::size_t p = 0; p < cs.pts.size(); ++p) {
+      const auto pi = static_cast<std::int64_t>(p);
+      if (pi == t.v[0] || pi == t.v[1] || pi == t.v[2] || pi == t.v[3]) continue;
+      const int inside = tg::insphere(a, b, c, d, cs.pts[p]) * orient;
+      EXPECT_LE(inside, 0) << "site " << p << " inside circumsphere of tet "
+                           << t.v[0] << "," << t.v[1] << "," << t.v[2] << ","
+                           << t.v[3];
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Delaunay, TetsAreDeduplicated) {
+  auto cs = build_cells(303, 150);
+  auto tets = tg::delaunay_from_cells(cs.cells, cs.ids);
+  for (std::size_t i = 1; i < tets.size(); ++i)
+    EXPECT_TRUE(tets[i - 1] < tets[i]);  // strictly sorted => unique
+}
+
+TEST(Delaunay, EdgesAreSymmetricNeighborPairs) {
+  auto cs = build_cells(404, 120);
+  auto edges = tg::delaunay_edges_from_cells(cs.cells, cs.ids);
+  ASSERT_GT(edges.size(), 0u);
+  for (const auto& e : edges) {
+    EXPECT_LT(e[0], e[1]);
+    EXPECT_GE(e[0], 0);
+    EXPECT_LT(e[1], static_cast<std::int64_t>(cs.pts.size()));
+  }
+}
+
+TEST(Delaunay, EveryTetEdgeIsADelaunayEdge) {
+  auto cs = build_cells(505, 100);
+  auto tets = tg::delaunay_from_cells(cs.cells, cs.ids);
+  auto edges = tg::delaunay_edges_from_cells(cs.cells, cs.ids);
+  auto has_edge = [&](std::int64_t u, std::int64_t v) {
+    if (u > v) std::swap(u, v);
+    std::array<std::int64_t, 2> e{u, v};
+    return std::binary_search(edges.begin(), edges.end(), e);
+  };
+  // Tets come only from complete cells; at least the cell-site edges of the
+  // generating site must appear in the edge list. Check all 6 edges of a
+  // sample of tets whose all four sites have complete cells.
+  std::size_t verified = 0;
+  for (const auto& t : tets) {
+    bool all_complete = true;
+    for (auto v : t.v)
+      if (!cs.cells[static_cast<std::size_t>(v)].complete()) all_complete = false;
+    if (!all_complete) continue;
+    for (int i = 0; i < 4; ++i)
+      for (int j = i + 1; j < 4; ++j)
+        EXPECT_TRUE(has_edge(t.v[static_cast<std::size_t>(i)],
+                             t.v[static_cast<std::size_t>(j)]))
+            << t.v[static_cast<std::size_t>(i)] << "-"
+            << t.v[static_cast<std::size_t>(j)];
+    ++verified;
+    if (verified > 50) break;
+  }
+  EXPECT_GT(verified, 0u);
+}
+
+TEST(Delaunay, MismatchedSizesThrow) {
+  std::vector<tg::VoronoiCell> cells;
+  std::vector<std::int64_t> ids{1, 2};
+  EXPECT_THROW(tg::delaunay_from_cells(cells, ids), std::invalid_argument);
+  EXPECT_THROW(tg::delaunay_edges_from_cells(cells, ids), std::invalid_argument);
+}

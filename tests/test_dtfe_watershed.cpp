@@ -1,0 +1,241 @@
+// Tests for the DTFE density estimator and the Watershed Void Finder — the
+// baseline void-finding stack the paper's §II positions tess against.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/dtfe.hpp"
+#include "analysis/watershed.hpp"
+#include "comm/comm.hpp"
+#include "core/standalone.hpp"
+#include "diy/exchange.hpp"
+#include "geom/cell_builder.hpp"
+#include "geom/delaunay.hpp"
+#include "util/rng.hpp"
+
+using tess::analysis::DtfeOptions;
+using tess::analysis::WatershedOptions;
+using tess::comm::Comm;
+using tess::comm::Runtime;
+using tess::diy::Particle;
+using tess::geom::Vec3;
+using tess::util::Rng;
+
+namespace {
+
+// Delaunay tets + positions of a periodic tessellation of `particles`.
+struct Dual {
+  std::vector<tess::geom::Tetrahedron> tets;
+  std::unordered_map<std::int64_t, Vec3> positions;
+};
+
+Dual dual_of(const std::vector<Particle>& particles, double box) {
+  Dual d;
+  Runtime::run(1, [&](Comm& c) {
+    tess::diy::Decomposition decomp({0, 0, 0}, {box, box, box}, {1, 1, 1}, true);
+    // Build the cells directly (serial) so we keep VoronoiCell objects;
+    // periodic ghost images come from the exchanger's self-wrap path.
+    std::vector<Vec3> pts;
+    std::vector<std::int64_t> ids;
+    std::vector<Particle> all = particles;
+    tess::diy::Exchanger ex(c, decomp);
+    double ghost = 2.0 * box / std::cbrt(static_cast<double>(particles.size()));
+    auto ghosts = ex.exchange_ghost(all, ghost);
+    for (const auto& p : all) {
+      pts.push_back(p.pos);
+      ids.push_back(p.id);
+    }
+    for (const auto& g : ghosts) {
+      pts.push_back(g.pos);
+      ids.push_back(g.id);
+    }
+    const Vec3 lo{-ghost, -ghost, -ghost};
+    const Vec3 hi{box + ghost, box + ghost, box + ghost};
+    tess::geom::CellBuilder builder(pts, ids, lo, hi);
+    std::vector<tess::geom::VoronoiCell> cells;
+    std::vector<std::int64_t> sites;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      auto cell = builder.build(static_cast<int>(i), lo, hi);
+      if (!cell.complete()) continue;
+      cell.compact();
+      sites.push_back(all[i].id);
+      cells.push_back(std::move(cell));
+    }
+    d.tets = tess::geom::delaunay_from_cells(cells, sites);
+  });
+  for (const auto& p : particles) d.positions[p.id] = p.pos;
+  return d;
+}
+
+std::vector<Particle> lattice_particles(int n) {
+  std::vector<Particle> ps;
+  std::int64_t id = 0;
+  for (int z = 0; z < n; ++z)
+    for (int y = 0; y < n; ++y)
+      for (int x = 0; x < n; ++x)
+        ps.push_back({{x + 0.5, y + 0.5, z + 0.5}, id++});
+  return ps;
+}
+
+}  // namespace
+
+TEST(Dtfe, UniformLatticeGivesUnitDensity) {
+  const int n = 6;
+  const auto dual = dual_of(lattice_particles(n), n);
+  ASSERT_GT(dual.tets.size(), 0u);
+  const auto rho = tess::analysis::dtfe_site_densities(dual.tets, dual.positions, n);
+  // On a periodic unit lattice, every star has the same volume; DTFE gives
+  // the same density at every site, equal to 4/W. The absolute value
+  // depends on the (degenerate) lattice triangulation; uniformity is the
+  // testable property.
+  ASSERT_GT(rho.size(), 0u);
+  double first = rho.begin()->second;
+  for (const auto& [site, r] : rho) {
+    (void)site;
+    EXPECT_NEAR(r, first, 1e-9 * first);
+  }
+}
+
+TEST(Dtfe, ClusterIsDenserThanVoid) {
+  Rng rng(77);
+  std::vector<Particle> ps;
+  const double box = 10.0;
+  // Dense cluster in one corner region, sparse elsewhere.
+  for (int i = 0; i < 200; ++i)
+    ps.push_back({{2.0 + 0.6 * rng.normal(), 2.0 + 0.6 * rng.normal(),
+                   2.0 + 0.6 * rng.normal()},
+                  static_cast<std::int64_t>(i)});
+  for (auto& p : ps)
+    for (std::size_t a = 0; a < 3; ++a)
+      p.pos[a] = std::clamp(p.pos[a], 0.01, box - 0.01);
+  for (int i = 0; i < 100; ++i)
+    ps.push_back({{rng.uniform(0, box), rng.uniform(0, box), rng.uniform(0, box)},
+                  static_cast<std::int64_t>(200 + i)});
+
+  const auto dual = dual_of(ps, box);
+  DtfeOptions opt;
+  opt.grid = 20;
+  opt.box = box;
+  const auto field = tess::analysis::dtfe_density_grid(dual.tets, dual.positions, opt);
+  // Density at the cluster center far exceeds the density at the opposite
+  // corner (void region).
+  const double at_cluster = field.at(4, 4, 4);
+  const double at_void = field.at(15, 15, 15);
+  EXPECT_GT(at_cluster, 5.0 * std::max(at_void, 1e-12));
+  // Most sample points are covered by some tetrahedron.
+  std::size_t covered = 0;
+  for (double v : field.density)
+    if (v > 0.0) ++covered;
+  EXPECT_GT(covered, field.density.size() * 8 / 10);
+}
+
+TEST(Dtfe, InvalidArgumentsThrow) {
+  std::unordered_map<std::int64_t, Vec3> none;
+  EXPECT_THROW(tess::analysis::dtfe_site_densities({}, none, 0.0),
+               std::invalid_argument);
+  DtfeOptions opt;
+  EXPECT_THROW(tess::analysis::dtfe_density_grid({}, none, opt),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Watershed.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Synthetic density with two Gaussian wells at (4,4,4) and (12,12,12).
+std::vector<double> two_well_density(int grid) {
+  std::vector<double> d(static_cast<std::size_t>(grid) * grid * grid);
+  auto well = [&](double x, double y, double z, double cx, double cy, double cz) {
+    // Periodic squared distance.
+    auto pd = [&](double a, double b) {
+      double v = std::fabs(a - b);
+      if (v > grid / 2.0) v = grid - v;
+      return v * v;
+    };
+    return -std::exp(-(pd(x, cx) + pd(y, cy) + pd(z, cz)) / 18.0);
+  };
+  for (int z = 0; z < grid; ++z)
+    for (int y = 0; y < grid; ++y)
+      for (int x = 0; x < grid; ++x)
+        d[(static_cast<std::size_t>(z) * grid + static_cast<std::size_t>(y)) *
+              static_cast<std::size_t>(grid) +
+          static_cast<std::size_t>(x)] =
+            2.0 + well(x, y, z, 4, 4, 4) + well(x, y, z, 12, 12, 12);
+  return d;
+}
+
+}  // namespace
+
+TEST(Watershed, TwoWellsGiveTwoVoids) {
+  const int grid = 16;
+  const auto density = two_well_density(grid);
+  const auto result = tess::analysis::watershed_voids(density, grid);
+  EXPECT_EQ(result.num_voids, 2);
+  ASSERT_EQ(result.void_sizes.size(), 2u);
+  // Basins partition the periodic grid; symmetric wells -> equal halves.
+  EXPECT_EQ(result.void_sizes[0] + result.void_sizes[1],
+            static_cast<std::size_t>(grid) * grid * grid);
+  EXPECT_NEAR(static_cast<double>(result.void_sizes[0]),
+              static_cast<double>(result.void_sizes[1]),
+              0.2 * static_cast<double>(result.void_sizes[0]));
+  // Cells at the two minima have different labels.
+  auto at = [&](int x, int y, int z) {
+    return result.labels[(static_cast<std::size_t>(z) * grid +
+                          static_cast<std::size_t>(y)) *
+                             static_cast<std::size_t>(grid) +
+                         static_cast<std::size_t>(x)];
+  };
+  EXPECT_NE(at(4, 4, 4), at(12, 12, 12));
+  EXPECT_GE(at(4, 4, 4), 0);
+}
+
+TEST(Watershed, DensityThresholdDiscardsShallowBasins) {
+  const int grid = 16;
+  auto density = two_well_density(grid);
+  // Lift the second well so it is no longer underdense.
+  for (int z = 0; z < grid; ++z)
+    for (int y = 0; y < grid; ++y)
+      for (int x = 0; x < grid; ++x) {
+        const auto i = (static_cast<std::size_t>(z) * grid +
+                        static_cast<std::size_t>(y)) *
+                           static_cast<std::size_t>(grid) +
+                       static_cast<std::size_t>(x);
+        // distance to (12,12,12), periodic
+        auto pd = [&](double a, double b) {
+          double v = std::fabs(a - b);
+          if (v > grid / 2.0) v = grid - v;
+          return v * v;
+        };
+        if (pd(x, 12) + pd(y, 12) + pd(z, 12) < 36.0) density[i] += 0.9;
+      }
+  WatershedOptions opt;
+  opt.min_density_threshold = 1.5;
+  const auto result = tess::analysis::watershed_voids(density, grid, opt);
+  EXPECT_EQ(result.num_voids, 1);
+}
+
+TEST(Watershed, RidgeMergingJoinsBasins) {
+  const int grid = 16;
+  const auto density = two_well_density(grid);
+  WatershedOptions opt;
+  opt.ridge_threshold = 3.0;  // above every ridge -> everything merges
+  const auto result = tess::analysis::watershed_voids(density, grid, opt);
+  EXPECT_EQ(result.num_voids, 1);
+}
+
+TEST(Watershed, ConstantFieldIsOneBasinPerMinimumPlateau) {
+  // A strictly constant field has no descending neighbor anywhere: every
+  // cell is its own minimum. This is the degenerate worst case; it must
+  // not crash and must label every cell.
+  const int grid = 4;
+  std::vector<double> density(static_cast<std::size_t>(grid) * grid * grid, 1.0);
+  const auto result = tess::analysis::watershed_voids(density, grid);
+  EXPECT_EQ(result.num_voids, grid * grid * grid);
+}
+
+TEST(Watershed, InvalidSizeThrows) {
+  std::vector<double> d(10);
+  EXPECT_THROW(tess::analysis::watershed_voids(d, 4), std::invalid_argument);
+}

@@ -1,0 +1,162 @@
+// Tests for the ghost-zone particle exchange and particle migration across
+// rank counts, with and without periodic boundaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "comm/comm.hpp"
+#include "diy/exchange.hpp"
+#include "util/rng.hpp"
+
+using tess::comm::Comm;
+using tess::comm::Runtime;
+using tess::diy::Decomposition;
+using tess::diy::Exchanger;
+using tess::diy::Particle;
+using tess::geom::Vec3;
+using tess::util::Rng;
+
+namespace {
+
+// Deterministic global particle set; each rank selects the ones in its
+// block so every rank agrees on the universe of particles.
+std::vector<Particle> global_particles(int n, double domain) {
+  Rng rng(4242);
+  std::vector<Particle> all;
+  for (int i = 0; i < n; ++i)
+    all.push_back({{rng.uniform(0, domain), rng.uniform(0, domain),
+                    rng.uniform(0, domain)},
+                   i});
+  return all;
+}
+
+std::vector<Particle> mine_of(const std::vector<Particle>& all,
+                              const Decomposition& d, int block) {
+  std::vector<Particle> mine;
+  for (const auto& p : all)
+    if (d.block_of_point(p.pos) == block) mine.push_back(p);
+  return mine;
+}
+
+}  // namespace
+
+class ExchangeRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExchangeRanks, GhostsAreExactlyTheParticlesWithinGhostDistance) {
+  const int nranks = GetParam();
+  const double domain = 10.0, ghost = 1.0;
+  const auto all = global_particles(500, domain);
+  Runtime::run(nranks, [&](Comm& c) {
+    Decomposition d({0, 0, 0}, {domain, domain, domain},
+                    Decomposition::factor(nranks), false);
+    Exchanger ex(c, d);
+    const auto mine = mine_of(all, d, c.rank());
+    const auto ghosts = ex.exchange_ghost(mine, ghost);
+
+    // Reference: every particle of another block within ghost distance of
+    // my bounds must arrive exactly once.
+    const auto bb = d.block_bounds(c.rank());
+    std::set<std::int64_t> expected;
+    for (const auto& p : all)
+      if (d.block_of_point(p.pos) != c.rank() && bb.distance(p.pos) <= ghost)
+        expected.insert(p.id);
+    std::multiset<std::int64_t> got;
+    for (const auto& g : ghosts) got.insert(g.id);
+    EXPECT_EQ(got.size(), expected.size()) << "rank " << c.rank();
+    for (auto id : expected) EXPECT_EQ(got.count(id), 1u) << "id " << id;
+  });
+}
+
+TEST_P(ExchangeRanks, PeriodicGhostsIncludeWrappedImages) {
+  const int nranks = GetParam();
+  const double domain = 10.0, ghost = 1.5;
+  const auto all = global_particles(400, domain);
+  Runtime::run(nranks, [&](Comm& c) {
+    Decomposition d({0, 0, 0}, {domain, domain, domain},
+                    Decomposition::factor(nranks), true);
+    Exchanger ex(c, d);
+    const auto mine = mine_of(all, d, c.rank());
+    const auto ghosts = ex.exchange_ghost(mine, ghost);
+
+    // Reference: check all 27 periodic images of every foreign particle.
+    const auto bb = d.block_bounds(c.rank());
+    std::size_t expected = 0;
+    for (const auto& p : all) {
+      for (int sx = -1; sx <= 1; ++sx)
+        for (int sy = -1; sy <= 1; ++sy)
+          for (int sz = -1; sz <= 1; ++sz) {
+            const Vec3 img = p.pos + Vec3{sx * domain, sy * domain, sz * domain};
+            const bool self_original =
+                sx == 0 && sy == 0 && sz == 0 && d.block_of_point(p.pos) == c.rank();
+            if (!self_original && bb.distance(img) <= ghost) ++expected;
+          }
+    }
+    EXPECT_EQ(ghosts.size(), expected) << "rank " << c.rank();
+    // Every ghost position must actually be within ghost distance of my
+    // block (in the shifted frame).
+    for (const auto& g : ghosts) EXPECT_LE(bb.distance(g.pos), ghost + 1e-12);
+  });
+}
+
+TEST_P(ExchangeRanks, MigrationDeliversEveryParticleToItsBlock) {
+  const int nranks = GetParam();
+  const double domain = 8.0;
+  const auto all = global_particles(300, domain);
+  Runtime::run(nranks, [&](Comm& c) {
+    Decomposition d({0, 0, 0}, {domain, domain, domain},
+                    Decomposition::factor(nranks), true);
+    Exchanger ex(c, d);
+    // Start from a scrambled assignment: rank r initially holds particles
+    // with id % nranks == r, then perturb the positions (possibly out of
+    // the domain, to exercise wrapping).
+    std::vector<Particle> mine;
+    Rng rng(static_cast<std::uint64_t>(c.rank()) + 1);
+    for (const auto& p : all)
+      if (p.id % nranks == c.rank()) {
+        Particle q = p;
+        q.pos += {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+        mine.push_back(q);
+      }
+    auto settled = ex.migrate(mine);
+    for (const auto& p : settled)
+      EXPECT_EQ(d.block_of_point(p.pos), c.rank());
+    // No particle lost or duplicated.
+    const auto total = c.allreduce_sum(static_cast<long long>(settled.size()));
+    EXPECT_EQ(total, static_cast<long long>(all.size()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ExchangeRanks, ::testing::Values(1, 2, 4, 8));
+
+TEST(Exchange, MismatchedBlockCountThrows) {
+  Runtime::run(2, [&](Comm& c) {
+    Decomposition d({0, 0, 0}, {1, 1, 1}, {1, 1, 1}, false);
+    EXPECT_THROW(Exchanger(c, d), std::invalid_argument);
+  });
+}
+
+TEST(Exchange, ZeroParticlesIsFine) {
+  Runtime::run(4, [&](Comm& c) {
+    Decomposition d({0, 0, 0}, {1, 1, 1}, Decomposition::factor(4), true);
+    Exchanger ex(c, d);
+    auto ghosts = ex.exchange_ghost({}, 0.1);
+    EXPECT_TRUE(ghosts.empty());
+    auto settled = ex.migrate({});
+    EXPECT_TRUE(settled.empty());
+  });
+}
+
+TEST(Exchange, SingleRankPeriodicSelfImages) {
+  // One block, periodic: a particle near the low corner must produce ghost
+  // images at the high side without any messaging.
+  Runtime::run(1, [&](Comm& c) {
+    Decomposition d({0, 0, 0}, {4, 4, 4}, {1, 1, 1}, true);
+    Exchanger ex(c, d);
+    std::vector<Particle> mine{{{0.1, 2.0, 2.0}, 7}};
+    auto ghosts = ex.exchange_ghost(mine, 0.5);
+    ASSERT_EQ(ghosts.size(), 1u);
+    EXPECT_DOUBLE_EQ(ghosts[0].pos.x, 4.1);
+    EXPECT_EQ(ghosts[0].id, 7);
+  });
+}

@@ -1,0 +1,154 @@
+// Tests for the in-house FFT: analytic transforms, round trips, Parseval's
+// identity, and input validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "hacc/fft.hpp"
+#include "util/rng.hpp"
+
+using tess::hacc::Complex;
+using tess::hacc::Fft3D;
+using tess::hacc::fft1d;
+using tess::util::Rng;
+
+TEST(Fft1D, DeltaHasFlatSpectrum) {
+  std::vector<Complex> v(8, Complex(0, 0));
+  v[0] = Complex(1, 0);
+  fft1d(v.data(), v.size(), -1);
+  for (const auto& c : v) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft1D, ConstantHasOnlyZeroMode) {
+  std::vector<Complex> v(16, Complex(2.5, 0));
+  fft1d(v.data(), v.size(), -1);
+  EXPECT_NEAR(v[0].real(), 40.0, 1e-12);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_NEAR(std::abs(v[i]), 0.0, 1e-12);
+}
+
+TEST(Fft1D, SingleSineLandsInOneMode) {
+  const std::size_t n = 32;
+  std::vector<Complex> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = Complex(std::cos(2.0 * std::numbers::pi * 3.0 * static_cast<double>(i) /
+                            static_cast<double>(n)),
+                   0.0);
+  fft1d(v.data(), n, -1);
+  // cos(2*pi*3x/n) -> modes 3 and n-3, each n/2.
+  EXPECT_NEAR(v[3].real(), 16.0, 1e-10);
+  EXPECT_NEAR(v[n - 3].real(), 16.0, 1e-10);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == 3 || i == n - 3) continue;
+    EXPECT_NEAR(std::abs(v[i]), 0.0, 1e-10) << "mode " << i;
+  }
+}
+
+TEST(Fft1D, RoundTrip) {
+  Rng rng(1);
+  std::vector<Complex> v(64);
+  for (auto& c : v) c = Complex(rng.normal(), rng.normal());
+  auto orig = v;
+  fft1d(v.data(), v.size(), -1);
+  fft1d(v.data(), v.size(), +1);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i].real(), orig[i].real(), 1e-12);
+    EXPECT_NEAR(v[i].imag(), orig[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft1D, Parseval) {
+  Rng rng(2);
+  const std::size_t n = 128;
+  std::vector<Complex> v(n);
+  double time_energy = 0.0;
+  for (auto& c : v) {
+    c = Complex(rng.normal(), rng.normal());
+    time_energy += std::norm(c);
+  }
+  fft1d(v.data(), n, -1);
+  double freq_energy = 0.0;
+  for (const auto& c : v) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n),
+              1e-9 * time_energy * static_cast<double>(n));
+}
+
+TEST(Fft1D, Linearity) {
+  Rng rng(3);
+  const std::size_t n = 32;
+  std::vector<Complex> a(n), b(n), ab(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = Complex(rng.normal(), 0);
+    b[i] = Complex(rng.normal(), 0);
+    ab[i] = 2.0 * a[i] + 3.0 * b[i];
+  }
+  fft1d(a.data(), n, -1);
+  fft1d(b.data(), n, -1);
+  fft1d(ab.data(), n, -1);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(ab[i] - (2.0 * a[i] + 3.0 * b[i])), 0.0, 1e-10);
+}
+
+TEST(Fft1D, NonPowerOfTwoThrows) {
+  std::vector<Complex> v(12);
+  EXPECT_THROW(fft1d(v.data(), v.size(), -1), std::invalid_argument);
+  EXPECT_THROW(fft1d(v.data(), 0, -1), std::invalid_argument);
+}
+
+TEST(Fft3D, RoundTrip) {
+  Rng rng(4);
+  Fft3D fft(8, 8, 8);
+  std::vector<Complex> v(fft.size());
+  for (auto& c : v) c = Complex(rng.normal(), rng.normal());
+  auto orig = v;
+  fft.forward(v);
+  fft.inverse(v);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_NEAR(std::abs(v[i] - orig[i]), 0.0, 1e-11);
+}
+
+TEST(Fft3D, PlaneWaveLandsInOneMode) {
+  const std::size_t n = 8;
+  Fft3D fft(n, n, n);
+  std::vector<Complex> v(fft.size());
+  // exp(i*2*pi*(2x + y)/n): mode (2, 1, 0).
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x) {
+        const double ph = 2.0 * std::numbers::pi *
+                          (2.0 * static_cast<double>(x) + static_cast<double>(y)) /
+                          static_cast<double>(n);
+        v[(z * n + y) * n + x] = Complex(std::cos(ph), std::sin(ph));
+      }
+  fft.forward(v);
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      for (std::size_t x = 0; x < n; ++x) {
+        const double expect = (x == 2 && y == 1 && z == 0)
+                                  ? static_cast<double>(n * n * n)
+                                  : 0.0;
+        EXPECT_NEAR(std::abs(v[(z * n + y) * n + x]), expect, 1e-8);
+      }
+}
+
+TEST(Fft3D, AnisotropicDimensions) {
+  Rng rng(5);
+  Fft3D fft(4, 8, 16);
+  std::vector<Complex> v(fft.size());
+  for (auto& c : v) c = Complex(rng.normal(), 0);
+  auto orig = v;
+  fft.forward(v);
+  fft.inverse(v);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_NEAR(std::abs(v[i] - orig[i]), 0.0, 1e-11);
+}
+
+TEST(Fft3D, SizeMismatchThrows) {
+  Fft3D fft(4, 4, 4);
+  std::vector<Complex> v(10);
+  EXPECT_THROW(fft.forward(v), std::invalid_argument);
+  EXPECT_THROW(Fft3D(3, 4, 4), std::invalid_argument);
+}

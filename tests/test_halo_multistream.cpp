@@ -1,0 +1,246 @@
+// Tests for the FOF halo finder and the multistream (Lagrangian sheet)
+// detector — the companion tools of the paper's in situ framework (Fig. 4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/halo_finder.hpp"
+#include "analysis/multistream.hpp"
+#include "hacc/initial_conditions.hpp"
+#include "hacc/simulation.hpp"
+#include "comm/comm.hpp"
+#include "util/rng.hpp"
+
+using tess::analysis::FofOptions;
+using tess::analysis::HaloFinder;
+using tess::analysis::MultistreamOptions;
+using tess::diy::Particle;
+using tess::geom::Vec3;
+using tess::util::Rng;
+
+namespace {
+
+void add_cluster(std::vector<Particle>& ps, Rng& rng, const Vec3& center,
+                 double radius, int n) {
+  for (int i = 0; i < n; ++i)
+    ps.push_back({{center.x + radius * rng.normal(), center.y + radius * rng.normal(),
+                   center.z + radius * rng.normal()},
+                  static_cast<std::int64_t>(ps.size())});
+}
+
+}  // namespace
+
+TEST(HaloFinder, TwoClustersPlusField) {
+  Rng rng(1);
+  std::vector<Particle> ps;
+  add_cluster(ps, rng, {2, 2, 2}, 0.05, 100);
+  add_cluster(ps, rng, {7, 7, 7}, 0.05, 60);
+  for (int i = 0; i < 30; ++i)  // sparse field particles
+    ps.push_back({{rng.uniform(3, 6), rng.uniform(3, 6), rng.uniform(3, 6)},
+                  static_cast<std::int64_t>(ps.size())});
+
+  FofOptions opt;
+  opt.linking_length = 0.3;
+  opt.min_members = 10;
+  HaloFinder finder(opt);
+  const auto halos = finder.find(ps);
+  ASSERT_EQ(halos.size(), 2u);
+  EXPECT_EQ(halos[0].num_particles, 100u);  // sorted by size
+  EXPECT_EQ(halos[1].num_particles, 60u);
+  EXPECT_NEAR(halos[0].center.x, 2.0, 0.05);
+  EXPECT_NEAR(halos[1].center.y, 7.0, 0.05);
+  // Halo ids are the smallest member particle ids.
+  EXPECT_EQ(halos[0].id, 0);
+  EXPECT_EQ(halos[1].id, 100);
+  EXPECT_NEAR(finder.halo_mass_fraction(), 160.0 / 190.0, 1e-12);
+  // Membership: cluster members labeled, field particles -1.
+  const auto& member = finder.membership();
+  ASSERT_EQ(member.size(), ps.size());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(member[static_cast<std::size_t>(i)], 0);
+  for (int i = 100; i < 160; ++i) EXPECT_EQ(member[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(HaloFinder, PeriodicWrapAround) {
+  // A cluster straddling the periodic box edge must be one halo with a
+  // properly wrapped center.
+  Rng rng(2);
+  std::vector<Particle> ps;
+  const double box = 10.0;
+  for (int i = 0; i < 80; ++i) {
+    double x = 0.1 * rng.normal();  // around x = 0 == x = 10
+    if (x < 0) x += box;
+    ps.push_back({{x, 5.0 + 0.1 * rng.normal(), 5.0 + 0.1 * rng.normal()},
+                  static_cast<std::int64_t>(i)});
+  }
+  FofOptions opt;
+  opt.linking_length = 0.5;
+  opt.min_members = 10;
+  opt.box = box;
+  HaloFinder finder(opt);
+  const auto halos = finder.find(ps);
+  ASSERT_EQ(halos.size(), 1u);
+  EXPECT_EQ(halos[0].num_particles, 80u);
+  // Center near the seam (within half a linking length of 0 or 10).
+  const double d = std::min(halos[0].center.x, box - halos[0].center.x);
+  EXPECT_LT(d, 0.25);
+
+  // Without periodicity the same points split into two groups.
+  FofOptions open = opt;
+  open.box = 0.0;
+  HaloFinder finder2(open);
+  EXPECT_EQ(finder2.find(ps).size(), 2u);
+}
+
+TEST(HaloFinder, MinMembersFilters) {
+  Rng rng(3);
+  std::vector<Particle> ps;
+  add_cluster(ps, rng, {5, 5, 5}, 0.05, 12);
+  FofOptions opt;
+  opt.linking_length = 0.3;
+  opt.min_members = 13;
+  EXPECT_TRUE(HaloFinder(opt).find(ps).empty());
+  opt.min_members = 12;
+  EXPECT_EQ(HaloFinder(opt).find(ps).size(), 1u);
+}
+
+TEST(HaloFinder, LinkingLengthMonotonicity) {
+  Rng rng(4);
+  std::vector<Particle> ps;
+  for (int i = 0; i < 400; ++i)
+    ps.push_back({{rng.uniform(0, 10), rng.uniform(0, 10), rng.uniform(0, 10)},
+                  static_cast<std::int64_t>(i)});
+  std::size_t prev_groups = SIZE_MAX;
+  for (double b : {0.3, 0.6, 1.2, 2.4}) {
+    FofOptions opt;
+    opt.linking_length = b;
+    opt.min_members = 1;
+    const auto halos = HaloFinder(opt).find(ps);
+    EXPECT_LE(halos.size(), prev_groups);  // larger b can only merge groups
+    prev_groups = halos.size();
+  }
+}
+
+TEST(HaloFinder, EmptyAndInvalid) {
+  FofOptions opt;
+  EXPECT_TRUE(HaloFinder(opt).find({}).empty());
+  opt.linking_length = 0.0;
+  EXPECT_THROW(HaloFinder bad(opt), std::invalid_argument);
+}
+
+TEST(HaloFinder, EvolvedSimulationHasHalos) {
+  tess::hacc::SimConfig cfg;
+  cfg.np = cfg.ng = 16;
+  cfg.nsteps = 60;
+  cfg.sigma_grid = 5.0;
+  cfg.seed = 9;
+  std::vector<Particle> snapshot;
+  tess::comm::Runtime::run(1, [&](tess::comm::Comm& c) {
+    tess::hacc::Simulation sim(c, cfg);
+    sim.run_until(cfg.nsteps);
+    snapshot = sim.local_tess_particles();
+  });
+  FofOptions opt;
+  opt.linking_length = 0.2;  // b = 0.2 x unit spacing, the standard choice
+  opt.min_members = 8;
+  opt.box = cfg.box();
+  HaloFinder finder(opt);
+  const auto halos = finder.find(snapshot);
+  EXPECT_GT(halos.size(), 3u);
+  EXPECT_GT(finder.halo_mass_fraction(), 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Multistream detection.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<Vec3> positions_by_id(const std::vector<tess::hacc::SimParticle>& ps,
+                                  std::size_t n) {
+  std::vector<Vec3> out(n);
+  for (const auto& p : ps) out[static_cast<std::size_t>(p.id)] = p.pos;
+  return out;
+}
+
+}  // namespace
+
+TEST(Multistream, UnperturbedLatticeIsSingleStream) {
+  const int np = 8;
+  std::vector<Vec3> pos;
+  for (int z = 0; z < np; ++z)
+    for (int y = 0; y < np; ++y)
+      for (int x = 0; x < np; ++x) pos.push_back({x + 0.5, y + 0.5, z + 0.5});
+  MultistreamOptions opt;
+  opt.np = np;
+  opt.box = np;
+  opt.grid = 12;
+  const auto field = tess::analysis::multistream_field(pos, opt);
+  EXPECT_DOUBLE_EQ(field.fraction(1), 1.0);
+  for (int s : field.streams) EXPECT_EQ(s, 1);
+}
+
+TEST(Multistream, MeanStreamCountIsAtLeastOne) {
+  // The Lagrangian sheet covers the box with multiplicity >= 1 everywhere;
+  // folding only adds coverage. (Zel'dovich displacements, pre-shell-
+  // crossing: mean stays ~1.)
+  tess::hacc::IcConfig ic;
+  ic.np = ic.ng = 16;
+  ic.sigma_grid = 1.0;
+  ic.a_init = 0.2;
+  ic.seed = 5;
+  const auto parts = tess::hacc::zeldovich_ic(ic);
+  const auto pos = positions_by_id(parts, parts.size());
+  MultistreamOptions opt;
+  opt.np = 16;
+  opt.box = 16;
+  opt.grid = 16;
+  const auto field = tess::analysis::multistream_field(pos, opt);
+  double mean = 0.0;
+  for (int s : field.streams) mean += s;
+  mean /= static_cast<double>(field.streams.size());
+  EXPECT_GT(mean, 0.97);
+  EXPECT_GT(field.fraction(1), 0.9);  // barely any shell crossing yet
+}
+
+TEST(Multistream, CollapseCreatesMultistreamRegions) {
+  tess::hacc::SimConfig cfg;
+  cfg.np = cfg.ng = 16;
+  cfg.nsteps = 60;
+  cfg.sigma_grid = 5.0;
+  cfg.seed = 9;
+  std::vector<tess::hacc::SimParticle> parts;
+  tess::comm::Runtime::run(1, [&](tess::comm::Comm& c) {
+    tess::hacc::Simulation sim(c, cfg);
+    sim.run_until(cfg.nsteps);
+    parts = sim.local_particles();
+  });
+  const auto pos = positions_by_id(parts, parts.size());
+  MultistreamOptions opt;
+  opt.np = 16;
+  opt.box = 16;
+  opt.grid = 16;
+  const auto field = tess::analysis::multistream_field(pos, opt);
+  // Zel'dovich pancakes and halos: a solid multistream fraction appears,
+  // while voids stay single-stream.
+  EXPECT_GT(field.fraction_at_least(3), 0.05);
+  EXPECT_GT(field.fraction(1), 0.2);
+  // Stream counts are odd away from fold boundaries (each fold adds 2).
+  std::size_t even = 0;
+  for (int s : field.streams)
+    if (s % 2 == 0) ++even;
+  EXPECT_LT(static_cast<double>(even) / static_cast<double>(field.streams.size()),
+            0.25);
+}
+
+TEST(Multistream, InvalidArguments) {
+  std::vector<Vec3> pos(8);
+  MultistreamOptions opt;
+  opt.np = 2;
+  opt.box = 2;
+  opt.grid = 4;
+  EXPECT_NO_THROW(tess::analysis::multistream_field(pos, opt));
+  opt.np = 3;  // size mismatch (needs 27)
+  EXPECT_THROW(tess::analysis::multistream_field(pos, opt), std::invalid_argument);
+  opt.np = 1;
+  EXPECT_THROW(tess::analysis::multistream_field(pos, opt), std::invalid_argument);
+}

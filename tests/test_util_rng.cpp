@@ -1,0 +1,68 @@
+// Statistical sanity tests for the xoshiro256++ generator: determinism,
+// stream independence, and distribution shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using tess::util::Moments;
+using tess::util::Rng;
+
+TEST(Rng, Deterministic) {
+  Rng a(123, 0), b(123, 0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamsDiffer) {
+  Rng a(123, 0), b(123, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMoments) {
+  Rng rng(17);
+  Moments m;
+  for (int i = 0; i < 100000; ++i) m.add(rng.uniform());
+  EXPECT_NEAR(m.mean(), 0.5, 0.005);
+  EXPECT_NEAR(m.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, UniformIndexCoversAll) {
+  Rng rng(3);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hits[rng.uniform_index(10)];
+  for (int h : hits) EXPECT_GT(h, 800);
+}
+
+TEST(Rng, NormalTails) {
+  Rng rng(29);
+  int beyond3 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (std::fabs(rng.normal()) > 3.0) ++beyond3;
+  // P(|Z|>3) ~ 0.0027.
+  EXPECT_GT(beyond3, n * 0.001);
+  EXPECT_LT(beyond3, n * 0.006);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(31);
+  Moments m;
+  for (int i = 0; i < 50000; ++i) m.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(m.mean(), 10.0, 0.05);
+  EXPECT_NEAR(m.stddev(), 2.0, 0.05);
+}
