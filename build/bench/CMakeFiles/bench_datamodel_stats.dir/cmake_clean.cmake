@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datamodel_stats.dir/bench_datamodel_stats.cpp.o"
+  "CMakeFiles/bench_datamodel_stats.dir/bench_datamodel_stats.cpp.o.d"
+  "bench_datamodel_stats"
+  "bench_datamodel_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datamodel_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_density_evolution.cpp" "bench/CMakeFiles/bench_fig11_density_evolution.dir/bench_fig11_density_evolution.cpp.o" "gcc" "bench/CMakeFiles/bench_fig11_density_evolution.dir/bench_fig11_density_evolution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hacc/CMakeFiles/tess_hacc.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tess_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tess_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/diy/CMakeFiles/tess_diy.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/tess_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tess_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tess_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_void_components.dir/bench_fig9_void_components.cpp.o"
+  "CMakeFiles/bench_fig9_void_components.dir/bench_fig9_void_components.cpp.o.d"
+  "bench_fig9_void_components"
+  "bench_fig9_void_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_void_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

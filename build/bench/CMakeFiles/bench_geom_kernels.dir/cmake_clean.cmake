@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_geom_kernels.dir/bench_geom_kernels.cpp.o"
+  "CMakeFiles/bench_geom_kernels.dir/bench_geom_kernels.cpp.o.d"
+  "bench_geom_kernels"
+  "bench_geom_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geom_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

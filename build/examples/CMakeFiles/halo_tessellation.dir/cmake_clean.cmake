@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_tessellation.dir/halo_tessellation.cpp.o"
+  "CMakeFiles/halo_tessellation.dir/halo_tessellation.cpp.o.d"
+  "halo_tessellation"
+  "halo_tessellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_tessellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tess_tool.dir/tess_tool.cpp.o"
+  "CMakeFiles/tess_tool.dir/tess_tool.cpp.o.d"
+  "tess_tool"
+  "tess_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tess_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

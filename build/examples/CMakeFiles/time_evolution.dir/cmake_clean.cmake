@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_evolution.dir/time_evolution.cpp.o"
+  "CMakeFiles/time_evolution.dir/time_evolution.cpp.o.d"
+  "time_evolution"
+  "time_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

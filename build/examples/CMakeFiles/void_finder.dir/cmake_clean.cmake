@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/void_finder.dir/void_finder.cpp.o"
+  "CMakeFiles/void_finder.dir/void_finder.cpp.o.d"
+  "void_finder"
+  "void_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/void_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/components.cpp" "src/analysis/CMakeFiles/tess_analysis.dir/components.cpp.o" "gcc" "src/analysis/CMakeFiles/tess_analysis.dir/components.cpp.o.d"
+  "/root/repo/src/analysis/components_distributed.cpp" "src/analysis/CMakeFiles/tess_analysis.dir/components_distributed.cpp.o" "gcc" "src/analysis/CMakeFiles/tess_analysis.dir/components_distributed.cpp.o.d"
+  "/root/repo/src/analysis/density.cpp" "src/analysis/CMakeFiles/tess_analysis.dir/density.cpp.o" "gcc" "src/analysis/CMakeFiles/tess_analysis.dir/density.cpp.o.d"
+  "/root/repo/src/analysis/dtfe.cpp" "src/analysis/CMakeFiles/tess_analysis.dir/dtfe.cpp.o" "gcc" "src/analysis/CMakeFiles/tess_analysis.dir/dtfe.cpp.o.d"
+  "/root/repo/src/analysis/halo_finder.cpp" "src/analysis/CMakeFiles/tess_analysis.dir/halo_finder.cpp.o" "gcc" "src/analysis/CMakeFiles/tess_analysis.dir/halo_finder.cpp.o.d"
+  "/root/repo/src/analysis/insitu_stats.cpp" "src/analysis/CMakeFiles/tess_analysis.dir/insitu_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/tess_analysis.dir/insitu_stats.cpp.o.d"
+  "/root/repo/src/analysis/minkowski.cpp" "src/analysis/CMakeFiles/tess_analysis.dir/minkowski.cpp.o" "gcc" "src/analysis/CMakeFiles/tess_analysis.dir/minkowski.cpp.o.d"
+  "/root/repo/src/analysis/multistream.cpp" "src/analysis/CMakeFiles/tess_analysis.dir/multistream.cpp.o" "gcc" "src/analysis/CMakeFiles/tess_analysis.dir/multistream.cpp.o.d"
+  "/root/repo/src/analysis/reader.cpp" "src/analysis/CMakeFiles/tess_analysis.dir/reader.cpp.o" "gcc" "src/analysis/CMakeFiles/tess_analysis.dir/reader.cpp.o.d"
+  "/root/repo/src/analysis/threshold.cpp" "src/analysis/CMakeFiles/tess_analysis.dir/threshold.cpp.o" "gcc" "src/analysis/CMakeFiles/tess_analysis.dir/threshold.cpp.o.d"
+  "/root/repo/src/analysis/tracking.cpp" "src/analysis/CMakeFiles/tess_analysis.dir/tracking.cpp.o" "gcc" "src/analysis/CMakeFiles/tess_analysis.dir/tracking.cpp.o.d"
+  "/root/repo/src/analysis/watershed.cpp" "src/analysis/CMakeFiles/tess_analysis.dir/watershed.cpp.o" "gcc" "src/analysis/CMakeFiles/tess_analysis.dir/watershed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tess_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/tess_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tess_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/diy/CMakeFiles/tess_diy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tess_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

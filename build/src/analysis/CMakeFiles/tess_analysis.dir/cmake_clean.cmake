@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tess_analysis.dir/components.cpp.o"
+  "CMakeFiles/tess_analysis.dir/components.cpp.o.d"
+  "CMakeFiles/tess_analysis.dir/components_distributed.cpp.o"
+  "CMakeFiles/tess_analysis.dir/components_distributed.cpp.o.d"
+  "CMakeFiles/tess_analysis.dir/density.cpp.o"
+  "CMakeFiles/tess_analysis.dir/density.cpp.o.d"
+  "CMakeFiles/tess_analysis.dir/dtfe.cpp.o"
+  "CMakeFiles/tess_analysis.dir/dtfe.cpp.o.d"
+  "CMakeFiles/tess_analysis.dir/halo_finder.cpp.o"
+  "CMakeFiles/tess_analysis.dir/halo_finder.cpp.o.d"
+  "CMakeFiles/tess_analysis.dir/insitu_stats.cpp.o"
+  "CMakeFiles/tess_analysis.dir/insitu_stats.cpp.o.d"
+  "CMakeFiles/tess_analysis.dir/minkowski.cpp.o"
+  "CMakeFiles/tess_analysis.dir/minkowski.cpp.o.d"
+  "CMakeFiles/tess_analysis.dir/multistream.cpp.o"
+  "CMakeFiles/tess_analysis.dir/multistream.cpp.o.d"
+  "CMakeFiles/tess_analysis.dir/reader.cpp.o"
+  "CMakeFiles/tess_analysis.dir/reader.cpp.o.d"
+  "CMakeFiles/tess_analysis.dir/threshold.cpp.o"
+  "CMakeFiles/tess_analysis.dir/threshold.cpp.o.d"
+  "CMakeFiles/tess_analysis.dir/tracking.cpp.o"
+  "CMakeFiles/tess_analysis.dir/tracking.cpp.o.d"
+  "CMakeFiles/tess_analysis.dir/watershed.cpp.o"
+  "CMakeFiles/tess_analysis.dir/watershed.cpp.o.d"
+  "libtess_analysis.a"
+  "libtess_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tess_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

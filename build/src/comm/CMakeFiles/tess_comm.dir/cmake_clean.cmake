@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tess_comm.dir/context.cpp.o"
+  "CMakeFiles/tess_comm.dir/context.cpp.o.d"
+  "CMakeFiles/tess_comm.dir/runtime.cpp.o"
+  "CMakeFiles/tess_comm.dir/runtime.cpp.o.d"
+  "libtess_comm.a"
+  "libtess_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tess_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/annotated_checkpoint.cpp" "src/core/CMakeFiles/tess_core.dir/annotated_checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/tess_core.dir/annotated_checkpoint.cpp.o.d"
+  "/root/repo/src/core/block_mesh.cpp" "src/core/CMakeFiles/tess_core.dir/block_mesh.cpp.o" "gcc" "src/core/CMakeFiles/tess_core.dir/block_mesh.cpp.o.d"
+  "/root/repo/src/core/standalone.cpp" "src/core/CMakeFiles/tess_core.dir/standalone.cpp.o" "gcc" "src/core/CMakeFiles/tess_core.dir/standalone.cpp.o.d"
+  "/root/repo/src/core/tessellator.cpp" "src/core/CMakeFiles/tess_core.dir/tessellator.cpp.o" "gcc" "src/core/CMakeFiles/tess_core.dir/tessellator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tess_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/tess_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tess_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/diy/CMakeFiles/tess_diy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tess_core.dir/annotated_checkpoint.cpp.o"
+  "CMakeFiles/tess_core.dir/annotated_checkpoint.cpp.o.d"
+  "CMakeFiles/tess_core.dir/block_mesh.cpp.o"
+  "CMakeFiles/tess_core.dir/block_mesh.cpp.o.d"
+  "CMakeFiles/tess_core.dir/standalone.cpp.o"
+  "CMakeFiles/tess_core.dir/standalone.cpp.o.d"
+  "CMakeFiles/tess_core.dir/tessellator.cpp.o"
+  "CMakeFiles/tess_core.dir/tessellator.cpp.o.d"
+  "libtess_core.a"
+  "libtess_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tess_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

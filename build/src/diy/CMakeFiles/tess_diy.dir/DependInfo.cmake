@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diy/blockio.cpp" "src/diy/CMakeFiles/tess_diy.dir/blockio.cpp.o" "gcc" "src/diy/CMakeFiles/tess_diy.dir/blockio.cpp.o.d"
+  "/root/repo/src/diy/decomposition.cpp" "src/diy/CMakeFiles/tess_diy.dir/decomposition.cpp.o" "gcc" "src/diy/CMakeFiles/tess_diy.dir/decomposition.cpp.o.d"
+  "/root/repo/src/diy/exchange.cpp" "src/diy/CMakeFiles/tess_diy.dir/exchange.cpp.o" "gcc" "src/diy/CMakeFiles/tess_diy.dir/exchange.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tess_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/tess_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tess_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tess_diy.dir/blockio.cpp.o"
+  "CMakeFiles/tess_diy.dir/blockio.cpp.o.d"
+  "CMakeFiles/tess_diy.dir/decomposition.cpp.o"
+  "CMakeFiles/tess_diy.dir/decomposition.cpp.o.d"
+  "CMakeFiles/tess_diy.dir/exchange.cpp.o"
+  "CMakeFiles/tess_diy.dir/exchange.cpp.o.d"
+  "libtess_diy.a"
+  "libtess_diy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tess_diy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tess_diy.
+# This may be replaced when dependencies are built.

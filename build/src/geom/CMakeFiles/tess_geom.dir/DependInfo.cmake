@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/cell_builder.cpp" "src/geom/CMakeFiles/tess_geom.dir/cell_builder.cpp.o" "gcc" "src/geom/CMakeFiles/tess_geom.dir/cell_builder.cpp.o.d"
+  "/root/repo/src/geom/convex_hull.cpp" "src/geom/CMakeFiles/tess_geom.dir/convex_hull.cpp.o" "gcc" "src/geom/CMakeFiles/tess_geom.dir/convex_hull.cpp.o.d"
+  "/root/repo/src/geom/delaunay.cpp" "src/geom/CMakeFiles/tess_geom.dir/delaunay.cpp.o" "gcc" "src/geom/CMakeFiles/tess_geom.dir/delaunay.cpp.o.d"
+  "/root/repo/src/geom/predicates.cpp" "src/geom/CMakeFiles/tess_geom.dir/predicates.cpp.o" "gcc" "src/geom/CMakeFiles/tess_geom.dir/predicates.cpp.o.d"
+  "/root/repo/src/geom/voronoi_cell.cpp" "src/geom/CMakeFiles/tess_geom.dir/voronoi_cell.cpp.o" "gcc" "src/geom/CMakeFiles/tess_geom.dir/voronoi_cell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tess_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

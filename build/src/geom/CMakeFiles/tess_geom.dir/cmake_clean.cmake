@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tess_geom.dir/cell_builder.cpp.o"
+  "CMakeFiles/tess_geom.dir/cell_builder.cpp.o.d"
+  "CMakeFiles/tess_geom.dir/convex_hull.cpp.o"
+  "CMakeFiles/tess_geom.dir/convex_hull.cpp.o.d"
+  "CMakeFiles/tess_geom.dir/delaunay.cpp.o"
+  "CMakeFiles/tess_geom.dir/delaunay.cpp.o.d"
+  "CMakeFiles/tess_geom.dir/predicates.cpp.o"
+  "CMakeFiles/tess_geom.dir/predicates.cpp.o.d"
+  "CMakeFiles/tess_geom.dir/voronoi_cell.cpp.o"
+  "CMakeFiles/tess_geom.dir/voronoi_cell.cpp.o.d"
+  "libtess_geom.a"
+  "libtess_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tess_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtess_geom.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hacc/cosmology.cpp" "src/hacc/CMakeFiles/tess_hacc.dir/cosmology.cpp.o" "gcc" "src/hacc/CMakeFiles/tess_hacc.dir/cosmology.cpp.o.d"
+  "/root/repo/src/hacc/fft.cpp" "src/hacc/CMakeFiles/tess_hacc.dir/fft.cpp.o" "gcc" "src/hacc/CMakeFiles/tess_hacc.dir/fft.cpp.o.d"
+  "/root/repo/src/hacc/initial_conditions.cpp" "src/hacc/CMakeFiles/tess_hacc.dir/initial_conditions.cpp.o" "gcc" "src/hacc/CMakeFiles/tess_hacc.dir/initial_conditions.cpp.o.d"
+  "/root/repo/src/hacc/pm_solver.cpp" "src/hacc/CMakeFiles/tess_hacc.dir/pm_solver.cpp.o" "gcc" "src/hacc/CMakeFiles/tess_hacc.dir/pm_solver.cpp.o.d"
+  "/root/repo/src/hacc/power_measure.cpp" "src/hacc/CMakeFiles/tess_hacc.dir/power_measure.cpp.o" "gcc" "src/hacc/CMakeFiles/tess_hacc.dir/power_measure.cpp.o.d"
+  "/root/repo/src/hacc/power_spectrum.cpp" "src/hacc/CMakeFiles/tess_hacc.dir/power_spectrum.cpp.o" "gcc" "src/hacc/CMakeFiles/tess_hacc.dir/power_spectrum.cpp.o.d"
+  "/root/repo/src/hacc/simulation.cpp" "src/hacc/CMakeFiles/tess_hacc.dir/simulation.cpp.o" "gcc" "src/hacc/CMakeFiles/tess_hacc.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tess_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/tess_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tess_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/diy/CMakeFiles/tess_diy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

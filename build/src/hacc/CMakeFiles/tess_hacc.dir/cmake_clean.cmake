@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tess_hacc.dir/cosmology.cpp.o"
+  "CMakeFiles/tess_hacc.dir/cosmology.cpp.o.d"
+  "CMakeFiles/tess_hacc.dir/fft.cpp.o"
+  "CMakeFiles/tess_hacc.dir/fft.cpp.o.d"
+  "CMakeFiles/tess_hacc.dir/initial_conditions.cpp.o"
+  "CMakeFiles/tess_hacc.dir/initial_conditions.cpp.o.d"
+  "CMakeFiles/tess_hacc.dir/pm_solver.cpp.o"
+  "CMakeFiles/tess_hacc.dir/pm_solver.cpp.o.d"
+  "CMakeFiles/tess_hacc.dir/power_measure.cpp.o"
+  "CMakeFiles/tess_hacc.dir/power_measure.cpp.o.d"
+  "CMakeFiles/tess_hacc.dir/power_spectrum.cpp.o"
+  "CMakeFiles/tess_hacc.dir/power_spectrum.cpp.o.d"
+  "CMakeFiles/tess_hacc.dir/simulation.cpp.o"
+  "CMakeFiles/tess_hacc.dir/simulation.cpp.o.d"
+  "libtess_hacc.a"
+  "libtess_hacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tess_hacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tess_util.dir/log.cpp.o"
+  "CMakeFiles/tess_util.dir/log.cpp.o.d"
+  "CMakeFiles/tess_util.dir/stats.cpp.o"
+  "CMakeFiles/tess_util.dir/stats.cpp.o.d"
+  "CMakeFiles/tess_util.dir/table.cpp.o"
+  "CMakeFiles/tess_util.dir/table.cpp.o.d"
+  "CMakeFiles/tess_util.dir/timer.cpp.o"
+  "CMakeFiles/tess_util.dir/timer.cpp.o.d"
+  "libtess_util.a"
+  "libtess_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tess_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

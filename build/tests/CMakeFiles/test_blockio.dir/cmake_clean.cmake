@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blockio.dir/test_blockio.cpp.o"
+  "CMakeFiles/test_blockio.dir/test_blockio.cpp.o.d"
+  "test_blockio"
+  "test_blockio.pdb"
+  "test_blockio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blockio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_builder.dir/test_cell_builder.cpp.o"
+  "CMakeFiles/test_cell_builder.dir/test_cell_builder.cpp.o.d"
+  "test_cell_builder"
+  "test_cell_builder.pdb"
+  "test_cell_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convex_hull.dir/test_convex_hull.cpp.o"
+  "CMakeFiles/test_convex_hull.dir/test_convex_hull.cpp.o.d"
+  "test_convex_hull"
+  "test_convex_hull.pdb"
+  "test_convex_hull[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convex_hull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

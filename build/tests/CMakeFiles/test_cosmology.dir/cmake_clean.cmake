@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cosmology.dir/test_cosmology.cpp.o"
+  "CMakeFiles/test_cosmology.dir/test_cosmology.cpp.o.d"
+  "test_cosmology"
+  "test_cosmology.pdb"
+  "test_cosmology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cosmology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

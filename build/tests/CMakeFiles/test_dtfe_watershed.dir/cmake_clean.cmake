@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dtfe_watershed.dir/test_dtfe_watershed.cpp.o"
+  "CMakeFiles/test_dtfe_watershed.dir/test_dtfe_watershed.cpp.o.d"
+  "test_dtfe_watershed"
+  "test_dtfe_watershed.pdb"
+  "test_dtfe_watershed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dtfe_watershed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dtfe_watershed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_geom_predicates.cpp" "tests/CMakeFiles/test_geom_predicates.dir/test_geom_predicates.cpp.o" "gcc" "tests/CMakeFiles/test_geom_predicates.dir/test_geom_predicates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hacc/CMakeFiles/tess_hacc.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tess_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tess_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/diy/CMakeFiles/tess_diy.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/tess_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/tess_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tess_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

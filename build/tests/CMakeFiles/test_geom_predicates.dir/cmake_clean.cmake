@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_predicates.dir/test_geom_predicates.cpp.o"
+  "CMakeFiles/test_geom_predicates.dir/test_geom_predicates.cpp.o.d"
+  "test_geom_predicates"
+  "test_geom_predicates.pdb"
+  "test_geom_predicates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halo_multistream.dir/test_halo_multistream.cpp.o"
+  "CMakeFiles/test_halo_multistream.dir/test_halo_multistream.cpp.o.d"
+  "test_halo_multistream"
+  "test_halo_multistream.pdb"
+  "test_halo_multistream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halo_multistream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_insitu_tools.dir/test_insitu_tools.cpp.o"
+  "CMakeFiles/test_insitu_tools.dir/test_insitu_tools.cpp.o.d"
+  "test_insitu_tools"
+  "test_insitu_tools.pdb"
+  "test_insitu_tools[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_insitu_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pm_solver.dir/test_pm_solver.cpp.o"
+  "CMakeFiles/test_pm_solver.dir/test_pm_solver.cpp.o.d"
+  "test_pm_solver"
+  "test_pm_solver.pdb"
+  "test_pm_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pm_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tessellator.dir/test_tessellator.cpp.o"
+  "CMakeFiles/test_tessellator.dir/test_tessellator.cpp.o.d"
+  "test_tessellator"
+  "test_tessellator.pdb"
+  "test_tessellator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tessellator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

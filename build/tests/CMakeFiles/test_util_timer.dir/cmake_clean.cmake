@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_timer.dir/test_util_timer.cpp.o"
+  "CMakeFiles/test_util_timer.dir/test_util_timer.cpp.o.d"
+  "test_util_timer"
+  "test_util_timer.pdb"
+  "test_util_timer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

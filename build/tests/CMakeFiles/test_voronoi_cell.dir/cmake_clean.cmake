@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_voronoi_cell.dir/test_voronoi_cell.cpp.o"
+  "CMakeFiles/test_voronoi_cell.dir/test_voronoi_cell.cpp.o.d"
+  "test_voronoi_cell"
+  "test_voronoi_cell.pdb"
+  "test_voronoi_cell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_voronoi_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

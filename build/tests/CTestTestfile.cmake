@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_util_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_geom_predicates[1]_include.cmake")
+include("/root/repo/build/tests/test_convex_hull[1]_include.cmake")
+include("/root/repo/build/tests/test_voronoi_cell[1]_include.cmake")
+include("/root/repo/build/tests/test_cell_builder[1]_include.cmake")
+include("/root/repo/build/tests/test_delaunay[1]_include.cmake")
+include("/root/repo/build/tests/test_decomposition[1]_include.cmake")
+include("/root/repo/build/tests/test_exchange[1]_include.cmake")
+include("/root/repo/build/tests/test_blockio[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_cosmology[1]_include.cmake")
+include("/root/repo/build/tests/test_pm_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_simulation[1]_include.cmake")
+include("/root/repo/build/tests/test_tessellator[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_halo_multistream[1]_include.cmake")
+include("/root/repo/build/tests/test_insitu_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_dtfe_watershed[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_util_timer[1]_include.cmake")
