@@ -8,6 +8,7 @@
 #include "geom/convex_hull.hpp"
 #include "geom/predicates.hpp"
 #include "hacc/fft.hpp"
+#include "util/parallel_for.hpp"
 #include "util/rng.hpp"
 
 using namespace tess;
@@ -76,6 +77,56 @@ static void BM_VoronoiCellBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VoronoiCellBuild)->Arg(1000)->Arg(8000);
+
+static void BM_VoronoiCellBuildReuse(benchmark::State& state) {
+  // The allocation-free steady-state path: one warm cell/scratch pair
+  // reused across sites (what each pool worker runs).
+  const int n = static_cast<int>(state.range(0));
+  geom::CellBuilder builder(random_points(4, n), {}, {0, 0, 0}, {1, 1, 1});
+  geom::VoronoiCell cell({0, 0, 0}, {-1, -1, -1}, {1, 1, 1});
+  geom::ClipScratch scratch;
+  std::size_t site = 0;
+  for (auto _ : state) {
+    builder.build_into(cell, scratch,
+                       static_cast<int>(site % static_cast<std::size_t>(n)),
+                       {0, 0, 0}, {1, 1, 1});
+    benchmark::DoNotOptimize(cell.volume());
+    ++site;
+  }
+}
+BENCHMARK(BM_VoronoiCellBuildReuse)->Arg(1000)->Arg(8000);
+
+static void BM_CellBuilder_Threads(benchmark::State& state) {
+  // Intra-rank parallel sweep over all cells of an 8000-point block with
+  // the same grain/shard scheme as Tessellator::tessellate_once. Real time
+  // (not main-thread CPU) is the figure of merit.
+  const int n = 8000;
+  geom::CellBuilder builder(random_points(4, n), {}, {0, 0, 0}, {1, 1, 1});
+  util::ThreadPool pool(static_cast<int>(state.range(0)));
+  const auto nworkers = static_cast<std::size_t>(pool.size());
+  const geom::VoronoiCell proto({0, 0, 0}, {-1, -1, -1}, {1, 1, 1});
+  std::vector<geom::VoronoiCell> cells(nworkers, proto);
+  std::vector<geom::ClipScratch> scratches(nworkers);
+  std::vector<double> volumes(nworkers, 0.0);
+  for (auto _ : state) {
+    util::parallel_for(
+        pool, static_cast<std::size_t>(n), 64,
+        [&](std::size_t begin, std::size_t end, int, int worker) {
+          auto& cell = cells[static_cast<std::size_t>(worker)];
+          auto& scratch = scratches[static_cast<std::size_t>(worker)];
+          double v = 0.0;
+          for (std::size_t i = begin; i < end; ++i) {
+            builder.build_into(cell, scratch, static_cast<int>(i), {0, 0, 0},
+                               {1, 1, 1});
+            v += cell.volume();
+          }
+          volumes[static_cast<std::size_t>(worker)] += v;
+        });
+    benchmark::DoNotOptimize(volumes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CellBuilder_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 static void BM_BlockTessellation(benchmark::State& state) {
   // Whole-block serial cost: all cells of an n-point block (the per-rank

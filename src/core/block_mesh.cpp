@@ -50,6 +50,24 @@ void BlockMesh::add_cell(std::int64_t site_id, const geom::VoronoiCell& cell,
   cells.push_back(rec);
 }
 
+void BlockMesh::append(const BlockMesh& other) {
+  const auto face_base = static_cast<std::uint32_t>(num_faces());
+  cells.reserve(cells.size() + other.cells.size());
+  for (const auto& c : other.cells) {
+    CellRecord rec = c;
+    rec.first_face += face_base;
+    cells.push_back(rec);
+  }
+  face_verts.reserve(face_verts.size() + other.face_verts.size());
+  for (std::size_t f = 0; f < other.num_faces(); ++f) {
+    for (std::size_t i = other.face_offsets[f]; i < other.face_offsets[f + 1]; ++i)
+      face_verts.push_back(
+          weld_vertex(other.vertices[other.face_verts[i]]));
+    face_offsets.push_back(static_cast<std::uint32_t>(face_verts.size()));
+    face_neighbors.push_back(other.face_neighbors[f]);
+  }
+}
+
 double BlockMesh::avg_faces_per_cell() const {
   return cells.empty() ? 0.0
                        : static_cast<double>(num_faces()) /

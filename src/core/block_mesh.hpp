@@ -53,6 +53,13 @@ class BlockMesh {
   void add_cell(std::int64_t site_id, const geom::VoronoiCell& cell,
                 double volume, double area);
 
+  /// Append every cell of `other`, re-welding its vertices against this
+  /// mesh. Merging worker shards in site order through this call yields
+  /// exactly the mesh a serial pass would have produced, because welding
+  /// keys on quantized positions and shard-local representatives coincide
+  /// with the serial first-occurrence representatives.
+  void append(const BlockMesh& other);
+
   /// Average faces per cell / vertices per face (paper's data-model stats).
   [[nodiscard]] double avg_faces_per_cell() const;
   [[nodiscard]] double avg_verts_per_face() const;

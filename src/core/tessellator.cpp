@@ -11,7 +11,11 @@ namespace tess::core {
 
 Tessellator::Tessellator(comm::Comm& comm, const diy::Decomposition& decomp,
                          const TessOptions& options)
-    : comm_(&comm), decomp_(&decomp), options_(options), exchanger_(comm, decomp) {}
+    : comm_(&comm),
+      decomp_(&decomp),
+      options_(options),
+      exchanger_(comm, decomp),
+      pool_(std::make_unique<util::ThreadPool>(options.threads)) {}
 
 BlockMesh Tessellator::tessellate(const std::vector<diy::Particle>& mine) {
   stats_ = TessStats{};
@@ -98,46 +102,105 @@ BlockMesh Tessellator::tessellate_once(const std::vector<diy::Particle>& mine,
 
   BlockMesh mesh;
   mesh.bounds = bounds;
-  for (std::size_t i = 0; i < mine.size(); ++i) {
-    auto cell = builder.build(static_cast<int>(i), seed.min, seed.max);
-    if (!cell.complete()) {
-      ++stats_.cells_incomplete;
-      continue;
-    }
-    // Security-radius certificate: every potential cutter of this cell lies
-    // within 2*Rmax of the site; if that ball fits inside the ghost-grown
-    // region, the cell is provably exact.
-    if (4.0 * cell.max_radius2() > ghost * ghost) ++stats_.cells_uncertified;
-    if (early_diam2 > 0.0 && cell.max_vertex_separation2() < early_diam2) {
-      ++stats_.cells_culled_early;
-      continue;
-    }
-    cell.compact();
 
-    double volume = cell.volume();
-    double area = cell.area();
-    if (options_.hull_pass) {
-      // Paper-faithful step: order the cell's vertices into faces via the
-      // convex hull and take volume/area from it.
-      const auto hull = geom::convex_hull(cell.vertices());
-      if (!hull.degenerate) {
-        volume = hull.volume;
-        area = hull.area;
-      }
-    }
-    if (options_.min_volume > 0.0 && volume < options_.min_volume) {
-      ++stats_.cells_culled_volume;
-      continue;
-    }
-    if (options_.max_volume > 0.0 && volume > options_.max_volume) {
-      ++stats_.cells_culled_volume;
-      continue;
-    }
-    mesh.add_cell(mine[i].id, cell, volume, area);
-    ++stats_.cells_kept;
+  // Per-cell loop, sharded over the intra-rank pool. Sites are split into
+  // chunks of a fixed grain that does NOT depend on the thread count, each
+  // chunk fills its own mesh shard and stat counters, and shards are merged
+  // in site order below — so the output mesh is byte-identical for any
+  // options.threads. Chunks are handed out dynamically (clustered inputs
+  // make per-cell cost very uneven); each worker owns one reusable
+  // cell/scratch pair, which keeps the clipping kernel allocation-free in
+  // steady state.
+  constexpr std::size_t kGrain = 64;
+  const std::size_t n = mine.size();
+  const std::size_t num_chunks = (n + kGrain - 1) / kGrain;
+  const int nthreads = pool_->size();
+
+  struct Shard {
+    BlockMesh mesh;
+    std::size_t incomplete = 0;
+    std::size_t uncertified = 0;
+    std::size_t culled_early = 0;
+    std::size_t culled_volume = 0;
+    double cpu_seconds = 0.0;
+  };
+  std::vector<Shard> shards(num_chunks);
+  const geom::VoronoiCell proto({0, 0, 0}, {-1, -1, -1}, {1, 1, 1});
+  std::vector<geom::VoronoiCell> cells(static_cast<std::size_t>(nthreads), proto);
+  std::vector<geom::ClipScratch> scratches(static_cast<std::size_t>(nthreads));
+
+  // Pause the serial timer over the parallel loop: the calling thread works
+  // chunks too, and that CPU is already accounted in the shard timers.
+  timer.stop();
+  util::parallel_for(
+      *pool_, n, kGrain,
+      [&](std::size_t begin, std::size_t end, int chunk, int worker) {
+        util::ThreadCpuTimer chunk_timer;
+        chunk_timer.start();
+        Shard& shard = shards[static_cast<std::size_t>(chunk)];
+        auto& cell = cells[static_cast<std::size_t>(worker)];
+        auto& scratch = scratches[static_cast<std::size_t>(worker)];
+        for (std::size_t i = begin; i < end; ++i) {
+          builder.build_into(cell, scratch, static_cast<int>(i), seed.min,
+                             seed.max);
+          if (!cell.complete()) {
+            ++shard.incomplete;
+            continue;
+          }
+          // Security-radius certificate: every potential cutter of this cell
+          // lies within 2*Rmax of the site; if that ball fits inside the
+          // ghost-grown region, the cell is provably exact.
+          if (4.0 * cell.max_radius2() > ghost * ghost) ++shard.uncertified;
+          if (early_diam2 > 0.0 && cell.max_vertex_separation2() < early_diam2) {
+            ++shard.culled_early;
+            continue;
+          }
+          cell.compact();
+
+          double volume = cell.volume();
+          double area = cell.area();
+          if (options_.hull_pass) {
+            // Paper-faithful step: order the cell's vertices into faces via
+            // the convex hull and take volume/area from it.
+            const auto hull = geom::convex_hull(cell.vertices());
+            if (!hull.degenerate) {
+              volume = hull.volume;
+              area = hull.area;
+            }
+          }
+          if (options_.min_volume > 0.0 && volume < options_.min_volume) {
+            ++shard.culled_volume;
+            continue;
+          }
+          if (options_.max_volume > 0.0 && volume > options_.max_volume) {
+            ++shard.culled_volume;
+            continue;
+          }
+          shard.mesh.add_cell(mine[i].id, cell, volume, area);
+        }
+        chunk_timer.stop();
+        shard.cpu_seconds = chunk_timer.seconds();
+      });
+
+  timer.start();
+  // Ordered merge: shard c holds sites [c*kGrain, (c+1)*kGrain), so
+  // appending in chunk order reproduces the serial site order exactly.
+  double loop_cpu = 0.0;
+  for (const auto& shard : shards) {
+    mesh.append(shard.mesh);
+    stats_.cells_incomplete += shard.incomplete;
+    stats_.cells_uncertified += shard.uncertified;
+    stats_.cells_culled_early += shard.culled_early;
+    stats_.cells_culled_volume += shard.culled_volume;
+    stats_.cells_kept += shard.mesh.cells.size();
+    loop_cpu += shard.cpu_seconds;
   }
   timer.stop();
-  stats_.compute_seconds = timer.seconds();
+  // Model the per-rank critical path: serial sections (builder setup and
+  // shard merge) on this thread, plus the cell loop's total CPU divided by
+  // the pool width (== the loop CPU itself when threads == 1).
+  stats_.compute_seconds =
+      timer.seconds() + loop_cpu / static_cast<double>(nthreads);
   return mesh;
 }
 

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "diy/decomposition.hpp"
 #include "diy/exchange.hpp"
 #include "diy/particle.hpp"
+#include "util/parallel_for.hpp"
 #include "util/timer.hpp"
 
 namespace tess::core {
@@ -91,6 +93,9 @@ class Tessellator {
   TessOptions options_;
   diy::Exchanger exchanger_;
   TessStats stats_;
+  /// Intra-rank worker pool for the per-cell loop (options.threads; owned
+  /// by this rank, so total threads stay bounded by ranks x threads).
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace tess::core

@@ -40,6 +40,16 @@ VoronoiCell CellBuilder::build(int site, const Vec3& box_min,
                                const Vec3& box_max) const {
   const Vec3& s = points_[static_cast<std::size_t>(site)];
   VoronoiCell cell(s, box_min, box_max);
+  ClipScratch scratch;
+  build_into(cell, scratch, site, box_min, box_max);
+  return cell;
+}
+
+void CellBuilder::build_into(VoronoiCell& cell, ClipScratch& scratch, int site,
+                             const Vec3& box_min, const Vec3& box_max) const {
+  const Vec3& s = points_[static_cast<std::size_t>(site)];
+  cell.reset(s, box_min, box_max);
+  std::uint64_t cuts = 0;
 
   // Site's bin coordinates.
   int sc[3];
@@ -50,7 +60,7 @@ VoronoiCell CellBuilder::build(int site, const Vec3& box_min,
   const double hmin = std::min({h_[0], h_[1], h_[2]});
   const int max_ring = std::max({nb_[0], nb_[1], nb_[2]});
 
-  std::vector<std::pair<double, int>> ring_pts;  // (dist2, point index)
+  auto& ring_pts = scratch.ring_pts;  // (dist2, point index)
 
   for (int r = 0; r <= max_ring; ++r) {
     // Any point in a bin at Chebyshev ring r is at least (r-1)*hmin from the
@@ -86,12 +96,17 @@ VoronoiCell CellBuilder::build(int site, const Vec3& box_min,
     for (const auto& [d2, j] : ring_pts) {
       if (d2 > 4.0 * cell.max_radius2()) break;  // sorted: rest are farther
       const std::int64_t id = ids_.empty() ? j : ids_[static_cast<std::size_t>(j)];
-      ++cuts_;
-      cell.cut(points_[static_cast<std::size_t>(j)], id);
-      if (cell.empty()) return cell;
+      ++cuts;
+      cell.cut(points_[static_cast<std::size_t>(j)], id, scratch);
+      if (cell.empty()) {
+        scratch.cuts_attempted += cuts;
+        cuts_.fetch_add(cuts, std::memory_order_relaxed);
+        return;
+      }
     }
   }
-  return cell;
+  scratch.cuts_attempted += cuts;
+  cuts_.fetch_add(cuts, std::memory_order_relaxed);
 }
 
 }  // namespace tess::geom

@@ -7,8 +7,14 @@
 // produced polyhedron is the exact Voronoi cell (intersected with the seed
 // box). This is the "local Voronoi cell computation" stage of the paper's
 // pipeline, standing in for the per-block Qhull invocation.
+//
+// build_into() is the allocation-free hot path: it reuses a caller-owned
+// cell object and ClipScratch, so a worker thread sweeping many sites
+// touches the heap only while warming up capacities. build() is safe to
+// call concurrently from many threads on one (const) builder.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -31,11 +37,21 @@ class CellBuilder {
   [[nodiscard]] VoronoiCell build(int site, const Vec3& box_min,
                                   const Vec3& box_max) const;
 
+  /// Same computation, but resets and reuses `cell` and `scratch` instead
+  /// of allocating: the steady-state path for tight per-site loops. Each
+  /// thread must own its cell/scratch pair; the builder itself is shared.
+  void build_into(VoronoiCell& cell, ClipScratch& scratch, int site,
+                  const Vec3& box_min, const Vec3& box_max) const;
+
   [[nodiscard]] std::size_t num_points() const { return points_.size(); }
   [[nodiscard]] const std::vector<Vec3>& points() const { return points_; }
 
   /// Total bisector cuts attempted across all build() calls (diagnostics).
-  [[nodiscard]] std::uint64_t cuts_attempted() const { return cuts_; }
+  /// Per-call counts accumulate in the caller's ClipScratch and are merged
+  /// here once per build, so concurrent builders stay race-free.
+  [[nodiscard]] std::uint64_t cuts_attempted() const {
+    return cuts_.load(std::memory_order_relaxed);
+  }
 
  private:
   [[nodiscard]] int bin_of(const Vec3& p) const;
@@ -46,7 +62,7 @@ class CellBuilder {
   int nb_[3] = {1, 1, 1};   // grid bins per dimension
   double h_[3] = {0, 0, 0};  // bin extents
   std::vector<std::vector<int>> bins_;
-  mutable std::uint64_t cuts_ = 0;
+  mutable std::atomic<std::uint64_t> cuts_{0};
 };
 
 }  // namespace tess::geom

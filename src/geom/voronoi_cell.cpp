@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <unordered_map>
 #include <unordered_set>
 
 namespace tess::geom {
@@ -16,10 +15,24 @@ inline double plane_eps(const Plane& p, double vert_scale) {
   return 1e-12 * (std::fabs(p.d) + vert_scale + 1.0);
 }
 
+// Scratch for the legacy no-scratch cut()/clip() overloads. Thread-local so
+// the convenience API stays safe under intra-rank threading and still
+// reuses its buffers across calls.
+ClipScratch& tls_scratch() {
+  thread_local ClipScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
-VoronoiCell::VoronoiCell(const Vec3& site, const Vec3& box_min, const Vec3& box_max)
-    : site_(site) {
+VoronoiCell::VoronoiCell(const Vec3& site, const Vec3& box_min, const Vec3& box_max) {
+  reset(site, box_min, box_max);
+}
+
+void VoronoiCell::reset(const Vec3& site, const Vec3& box_min, const Vec3& box_max) {
+  site_ = site;
+  verts_.clear();
+  gens_.clear();
   // Corner i has bit0 -> x, bit1 -> y, bit2 -> z (0 = min side).
   verts_.reserve(8);
   for (int i = 0; i < 8; ++i) {
@@ -32,32 +45,51 @@ VoronoiCell::VoronoiCell(const Vec3& site, const Vec3& box_min, const Vec3& box_
   }
   // Outward-oriented (CCW from outside) quad faces; sources -1..-6 identify
   // the box planes -X,+X,-Y,+Y,-Z,+Z.
-  faces_ = {
+  static constexpr struct {
+    std::int64_t source;
+    int v[4];
+  } kBoxFaces[6] = {
       {-1, {0, 4, 6, 2}}, {-2, {1, 3, 7, 5}}, {-3, {0, 1, 5, 4}},
       {-4, {2, 6, 7, 3}}, {-5, {0, 2, 3, 1}}, {-6, {4, 5, 7, 6}},
   };
+  faces_.clear();
+  faces_.reserve(6);
+  for (const auto& bf : kBoxFaces) {
+    auto& f = faces_.emplace_back();
+    f.source = bf.source;
+    f.verts.assign(bf.v, bf.v + 4);
+  }
   recompute_radius();
 }
 
-bool VoronoiCell::cut(const Vec3& neighbor, std::int64_t neighbor_id) {
+bool VoronoiCell::cut(const Vec3& neighbor, std::int64_t neighbor_id,
+                      ClipScratch& scratch) {
   const Vec3 n = neighbor - site_;
   // Bisector plane: n·x = n·midpoint; the site side satisfies n·x < d.
   const Vec3 mid = (neighbor + site_) * 0.5;
-  return clip({n, dot(n, mid), neighbor_id});
+  return clip({n, dot(n, mid), neighbor_id}, scratch);
 }
 
-bool VoronoiCell::clip(const Plane& plane) {
+bool VoronoiCell::cut(const Vec3& neighbor, std::int64_t neighbor_id) {
+  return cut(neighbor, neighbor_id, tls_scratch());
+}
+
+bool VoronoiCell::clip(const Plane& plane) { return clip(plane, tls_scratch()); }
+
+bool VoronoiCell::clip(const Plane& plane, ClipScratch& s) {
   if (faces_.empty()) return false;
 
   // Signed distances for every stored vertex (unused ones are harmless).
+  const std::size_t nv0 = verts_.size();
   double vert_scale = 0.0;
-  std::vector<double> dist(verts_.size());
-  for (std::size_t i = 0; i < verts_.size(); ++i) {
-    dist[i] = dot(plane.n, verts_[i]) - plane.d;
-    vert_scale = std::max(vert_scale, std::fabs(dot(plane.n, verts_[i])));
+  s.dist.resize(nv0);
+  for (std::size_t i = 0; i < nv0; ++i) {
+    const double nx = dot(plane.n, verts_[i]);
+    s.dist[i] = nx - plane.d;
+    vert_scale = std::max(vert_scale, std::fabs(nx));
   }
   const double eps = plane_eps(plane, vert_scale);
-  auto outside = [&](int v) { return dist[static_cast<std::size_t>(v)] > eps; };
+  auto outside = [&](int v) { return s.dist[static_cast<std::size_t>(v)] > eps; };
 
   bool any_out = false, all_out = true;
   for (const auto& f : faces_)
@@ -77,19 +109,21 @@ bool VoronoiCell::clip(const Plane& plane) {
 
   // New vertex on each cut edge, keyed by the undirected edge so the two
   // faces sharing the edge reuse one vertex (exact connectivity, no
-  // position-tolerance welding).
+  // position-tolerance welding). Cut vertices are appended at indices
+  // >= nv0; s.cap_next is indexed by that offset.
   auto ukey = [](int u, int v) {
     if (u > v) std::swap(u, v);
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
            static_cast<std::uint32_t>(v);
   };
-  std::unordered_map<std::uint64_t, int> cut_vertex;
+  s.cut_vertex.clear();
+  s.cap_next.clear();
   auto intersect = [&](int u, int v) -> int {
     const auto key = ukey(u, v);
-    auto it = cut_vertex.find(key);
-    if (it != cut_vertex.end()) return it->second;
-    const double du = dist[static_cast<std::size_t>(u)];
-    const double dv = dist[static_cast<std::size_t>(v)];
+    for (const auto& [k, idx] : s.cut_vertex)
+      if (k == key) return idx;
+    const double du = s.dist[static_cast<std::size_t>(u)];
+    const double dv = s.dist[static_cast<std::size_t>(v)];
     const double t = du / (du - dv);
     const Vec3 p = verts_[static_cast<std::size_t>(u)] +
                    (verts_[static_cast<std::size_t>(v)] -
@@ -97,20 +131,20 @@ bool VoronoiCell::clip(const Plane& plane) {
     const int idx = static_cast<int>(verts_.size());
     verts_.push_back(p);
     gens_.push_back({plane.source, kNoGenerator, kNoGenerator});
-    cut_vertex.emplace(key, idx);
+    s.cut_vertex.emplace_back(key, idx);
+    s.cap_next.push_back(-1);
     return idx;
   };
 
   // Clip every face loop (Sutherland-Hodgman) and collect the directed cap
   // edges. Within a clipped face the new edge runs exit -> entry; the cap
   // face needs it reversed (entry -> exit) to stay outward-oriented.
-  std::vector<Face> out_faces;
-  out_faces.reserve(faces_.size() + 1);
-  std::unordered_map<int, int> cap_next;  // entry vertex -> exit vertex
-  std::vector<int> loop;
+  s.faces_buf.clear();
+  s.faces_buf.reserve(faces_.size() + 1);
+  int cap_edges = 0;
 
   for (auto& f : faces_) {
-    loop.clear();
+    s.loop.clear();
     const std::size_t m = f.verts.size();
     // A convex loop crosses the plane at most twice: once leaving the kept
     // side (exit) and once returning (entry) — in either walk order.
@@ -119,10 +153,10 @@ bool VoronoiCell::clip(const Plane& plane) {
       const int u = f.verts[i];
       const int v = f.verts[(i + 1) % m];
       const bool u_out = outside(u), v_out = outside(v);
-      if (!u_out) loop.push_back(u);
+      if (!u_out) s.loop.push_back(u);
       if (u_out != v_out) {
         const int w = intersect(u, v);
-        loop.push_back(w);
+        s.loop.push_back(w);
         add_generator(w, f.source);
         if (!u_out) {
           exit_w = w;  // in -> out crossing
@@ -131,49 +165,63 @@ bool VoronoiCell::clip(const Plane& plane) {
         }
       }
     }
-    if (exit_w >= 0 && entry_w >= 0 && exit_w != entry_w)
-      cap_next[entry_w] = exit_w;
-    if (loop.size() >= 3) {
-      Face nf;
+    if (exit_w >= 0 && entry_w >= 0 && exit_w != entry_w) {
+      // Overwrite like the map it replaces: count distinct entry vertices.
+      int& slot = s.cap_next[static_cast<std::size_t>(entry_w) - nv0];
+      if (slot < 0) ++cap_edges;
+      slot = exit_w;
+    }
+    if (s.loop.size() >= 3) {
+      auto& nf = s.faces_buf.emplace_back();
       nf.source = f.source;
-      nf.verts = loop;
-      out_faces.push_back(std::move(nf));
+      nf.verts.assign(s.loop.begin(), s.loop.end());
     }
   }
 
-  // Build the cap face on the cutting plane by chaining the directed edges.
-  if (cap_next.size() >= 3) {
-    Face cap;
+  // Build the cap face on the cutting plane by chaining the directed edges,
+  // starting from the first-created cap vertex with an outgoing edge (a
+  // deterministic choice: creation order is the face iteration order).
+  if (cap_edges >= 3) {
+    auto& cap = s.faces_buf.emplace_back();
     cap.source = plane.source;
-    const int start = cap_next.begin()->first;
+    int start = -1;
+    for (std::size_t i = 0; i < s.cap_next.size(); ++i)
+      if (s.cap_next[i] >= 0) {
+        start = static_cast<int>(nv0 + i);
+        break;
+      }
     int cur = start;
-    for (std::size_t guard = 0; guard <= cap_next.size(); ++guard) {
+    for (int guard = 0; guard <= cap_edges; ++guard) {
       cap.verts.push_back(cur);
-      auto it = cap_next.find(cur);
-      if (it == cap_next.end()) break;
-      cur = it->second;
+      const int nxt = s.cap_next[static_cast<std::size_t>(cur) - nv0];
+      if (nxt < 0) break;
+      cur = nxt;
       if (cur == start) break;
     }
-    if (cap.verts.size() == cap_next.size() && cur == start) {
-      out_faces.push_back(std::move(cap));
-    } else {
+    if (!(static_cast<int>(cap.verts.size()) == cap_edges && cur == start)) {
       // Chain failed (degenerate classification); fall back to an angular
       // sort of the cap vertices around the plane normal.
-      std::vector<int> cap_verts;
-      for (const auto& kv : cap_next) cap_verts.push_back(kv.first);
-      for (const auto& kv : cap_next)
-        if (std::find(cap_verts.begin(), cap_verts.end(), kv.second) == cap_verts.end())
-          cap_verts.push_back(kv.second);
-      if (cap_verts.size() >= 3) {
+      s.faces_buf.pop_back();  // discard the partial chain
+      s.cap_verts.clear();
+      for (std::size_t i = 0; i < s.cap_next.size(); ++i)
+        if (s.cap_next[i] >= 0) s.cap_verts.push_back(static_cast<int>(nv0 + i));
+      for (std::size_t i = 0; i < s.cap_next.size(); ++i) {
+        const int v = s.cap_next[i];
+        if (v >= 0 &&
+            std::find(s.cap_verts.begin(), s.cap_verts.end(), v) ==
+                s.cap_verts.end())
+          s.cap_verts.push_back(v);
+      }
+      if (s.cap_verts.size() >= 3) {
         Vec3 c{};
-        for (int v : cap_verts) c += verts_[static_cast<std::size_t>(v)];
-        c = c / static_cast<double>(cap_verts.size());
+        for (int v : s.cap_verts) c += verts_[static_cast<std::size_t>(v)];
+        c = c / static_cast<double>(s.cap_verts.size());
         const Vec3 nz = normalized(plane.n);
         Vec3 ux = cross(nz, Vec3{1, 0, 0});
         if (norm2(ux) < 1e-12) ux = cross(nz, Vec3{0, 1, 0});
         ux = normalized(ux);
         const Vec3 uy = cross(nz, ux);
-        std::sort(cap_verts.begin(), cap_verts.end(), [&](int a, int b) {
+        std::sort(s.cap_verts.begin(), s.cap_verts.end(), [&](int a, int b) {
           const Vec3 pa = verts_[static_cast<std::size_t>(a)] - c;
           const Vec3 pb = verts_[static_cast<std::size_t>(b)] - c;
           return std::atan2(dot(pa, uy), dot(pa, ux)) <
@@ -181,24 +229,25 @@ bool VoronoiCell::clip(const Plane& plane) {
         });
         // Orient the loop so its normal points along +n (outward).
         Vec3 nrm{};
-        for (std::size_t i = 1; i + 1 < cap_verts.size(); ++i) {
-          const Vec3 a = verts_[static_cast<std::size_t>(cap_verts[i])] -
-                         verts_[static_cast<std::size_t>(cap_verts[0])];
-          const Vec3 b = verts_[static_cast<std::size_t>(cap_verts[i + 1])] -
-                         verts_[static_cast<std::size_t>(cap_verts[0])];
+        for (std::size_t i = 1; i + 1 < s.cap_verts.size(); ++i) {
+          const Vec3 a = verts_[static_cast<std::size_t>(s.cap_verts[i])] -
+                         verts_[static_cast<std::size_t>(s.cap_verts[0])];
+          const Vec3 b = verts_[static_cast<std::size_t>(s.cap_verts[i + 1])] -
+                         verts_[static_cast<std::size_t>(s.cap_verts[0])];
           nrm += cross(a, b);
         }
         if (dot(nrm, plane.n) < 0.0)
-          std::reverse(cap_verts.begin(), cap_verts.end());
-        Face cap2;
+          std::reverse(s.cap_verts.begin(), s.cap_verts.end());
+        auto& cap2 = s.faces_buf.emplace_back();
         cap2.source = plane.source;
-        cap2.verts = std::move(cap_verts);
-        out_faces.push_back(std::move(cap2));
+        cap2.verts.assign(s.cap_verts.begin(), s.cap_verts.end());
       }
     }
   }
 
-  faces_ = std::move(out_faces);
+  // Swap instead of move: faces_ adopts the new faces and the scratch keeps
+  // the old storage (and its face-loop capacities) for the next cut.
+  faces_.swap(s.faces_buf);
   if (faces_.size() < 4) faces_.clear();  // a valid polyhedron needs >= 4 faces
   recompute_radius();
   return true;
@@ -375,7 +424,7 @@ void VoronoiCell::compact() {
           }
         }
       }
-      f.verts = std::move(loop);
+      f.verts.assign(loop.begin(), loop.end());
     }
     std::erase_if(faces_, [](const Face& f) { return f.verts.size() < 3; });
   }

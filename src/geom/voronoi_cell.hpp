@@ -11,13 +11,23 @@
 // Every face remembers which neighbor particle (or box plane) generated it,
 // and every vertex remembers the three generating planes, which makes the
 // dual Delaunay tetrahedra directly recoverable (see geom/delaunay.hpp).
+//
+// Clipping is the hot path of the whole tessellation (the dominant column
+// of the paper's Table II), so it is written to be allocation-free in
+// steady state: all per-cut working storage lives in a caller-provided
+// ClipScratch that is cleared and reused across cuts and across cells, and
+// face vertex loops use inline small-buffer storage. A cell object itself
+// can be reset() and reused so its vertex/face arrays keep their capacity
+// from one site to the next.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "geom/vec3.hpp"
+#include "util/small_vector.hpp"
 
 namespace tess::geom {
 
@@ -30,6 +40,8 @@ struct Plane {
   std::int64_t source = 0;
 };
 
+struct ClipScratch;
+
 class VoronoiCell {
  public:
   /// Box plane sources: -1 (-X), -2 (+X), -3 (-Y), -4 (+Y), -5 (-Z), -6 (+Z).
@@ -38,22 +50,38 @@ class VoronoiCell {
   /// Generator sentinel for a not-yet-known vertex generator.
   static constexpr std::int64_t kNoGenerator = INT64_MIN;
 
+  /// Inline capacity of a face's vertex loop. Voronoi faces of realistic
+  /// particle distributions are small polygons (quads on lattices, mostly
+  /// pentagons/hexagons for random points); 16 covers the observed tail so
+  /// faces stay heap-free.
+  static constexpr std::size_t kInlineFaceVerts = 16;
+
   struct Face {
-    std::int64_t source = 0;   ///< neighbor particle id, or box plane id (< 0)
-    std::vector<int> verts;    ///< CCW loop viewed from outside the cell
+    std::int64_t source = 0;  ///< neighbor particle id, or box plane id (< 0)
+    /// CCW loop viewed from outside the cell.
+    util::SmallVector<int, kInlineFaceVerts> verts;
   };
 
   /// Initialize as the axis-aligned seed box [box_min, box_max] around
   /// `site`; `site` must be strictly inside the box.
   VoronoiCell(const Vec3& site, const Vec3& box_min, const Vec3& box_max);
 
+  /// Re-initialize to the seed box around a new site, keeping the capacity
+  /// of all internal arrays (the allocation-free path for builders that
+  /// reuse one cell object across many sites).
+  void reset(const Vec3& site, const Vec3& box_min, const Vec3& box_max);
+
   [[nodiscard]] const Vec3& site() const { return site_; }
 
   /// Clip by the bisector plane between the site and `neighbor`, keeping the
   /// site side. Returns true if the cell geometry changed.
-  bool cut(const Vec3& neighbor, std::int64_t neighbor_id);
+  bool cut(const Vec3& neighbor, std::int64_t neighbor_id, ClipScratch& scratch);
 
   /// Clip by an arbitrary plane (kept side n·x <= d).
+  bool clip(const Plane& plane, ClipScratch& scratch);
+
+  /// Convenience overloads using a per-thread scratch; identical results.
+  bool cut(const Vec3& neighbor, std::int64_t neighbor_id);
   bool clip(const Plane& plane);
 
   /// True once every vertex has been clipped away.
@@ -105,6 +133,30 @@ class VoronoiCell {
   std::vector<std::array<std::int64_t, 3>> gens_;
   std::vector<Face> faces_;
   double max_radius2_ = 0.0;
+};
+
+/// Reusable working storage for VoronoiCell::clip/cut and CellBuilder.
+/// One instance per thread; contents are overwritten by every cut, so the
+/// clipped geometry is bit-identical whether a scratch is fresh or reused.
+/// After a warm-up cell, steady-state clipping performs no heap allocation.
+struct ClipScratch {
+  std::vector<double> dist;  ///< signed distance of each vertex to the plane
+  /// New vertex per cut edge, keyed by the undirected edge (packed u,v).
+  /// A convex cut crosses few edges, so a flat array with linear search
+  /// replaces the per-cut unordered_map.
+  std::vector<std::pair<std::uint64_t, int>> cut_vertex;
+  /// Directed cap edges entry->exit, indexed by (vertex - first new index);
+  /// -1 = no outgoing cap edge.
+  std::vector<int> cap_next;
+  std::vector<int> loop;                  ///< clipped loop of the current face
+  std::vector<VoronoiCell::Face> faces_buf;  ///< double buffer for new faces
+  std::vector<int> cap_verts;             ///< degenerate-cap fallback order
+
+  /// Candidate (dist2, index) pairs for the cell builder's ring sweep.
+  std::vector<std::pair<double, int>> ring_pts;
+  /// Bisector cuts attempted through this scratch (per-thread accumulator;
+  /// merged by the owner, see CellBuilder::cuts_attempted).
+  std::uint64_t cuts_attempted = 0;
 };
 
 }  // namespace tess::geom

@@ -45,12 +45,12 @@ void fft1d(Complex* data, std::size_t n, int sign) {
 }
 
 Fft3D::Fft3D(std::size_t nx, std::size_t ny, std::size_t nz)
-    : nx_(nx), ny_(ny), nz_(nz) {
+    : nx_(nx), ny_(ny), nz_(nz), line_(std::max(ny, nz)) {
   if (!is_pow2(nx) || !is_pow2(ny) || !is_pow2(nz))
     throw std::invalid_argument("Fft3D: dimensions must be powers of 2");
 }
 
-void Fft3D::transform(std::vector<Complex>& grid, int sign) const {
+void Fft3D::transform(std::vector<Complex>& grid, int sign) {
   if (grid.size() != size())
     throw std::invalid_argument("Fft3D: grid size mismatch");
 
@@ -59,8 +59,9 @@ void Fft3D::transform(std::vector<Complex>& grid, int sign) const {
     for (std::size_t y = 0; y < ny_; ++y)
       fft1d(grid.data() + (z * ny_ + y) * nx_, nx_, sign);
 
-  // Along y and z: gather strided lines into a scratch buffer.
-  std::vector<Complex> line(std::max(ny_, nz_));
+  // Along y and z: gather strided lines into the preallocated scratch so
+  // repeated transforms (one per PM step) stop churning the allocator.
+  auto& line = line_;
   for (std::size_t z = 0; z < nz_; ++z)
     for (std::size_t x = 0; x < nx_; ++x) {
       for (std::size_t y = 0; y < ny_; ++y) line[y] = grid[(z * ny_ + y) * nx_ + x];

@@ -28,13 +28,17 @@ class Fft3D {
   [[nodiscard]] std::size_t ny() const { return ny_; }
   [[nodiscard]] std::size_t nz() const { return nz_; }
 
-  void forward(std::vector<Complex>& grid) const { transform(grid, -1); }
-  void inverse(std::vector<Complex>& grid) const { transform(grid, +1); }
+  void forward(std::vector<Complex>& grid) { transform(grid, -1); }
+  void inverse(std::vector<Complex>& grid) { transform(grid, +1); }
 
  private:
-  void transform(std::vector<Complex>& grid, int sign) const;
+  void transform(std::vector<Complex>& grid, int sign);
 
   std::size_t nx_, ny_, nz_;
+  // Scratch for gathering strided y/z pencils, sized once in the
+  // constructor and reused by every transform (non-const methods: one
+  // Fft3D per caller; share nothing across threads).
+  std::vector<Complex> line_;
 };
 
 }  // namespace tess::hacc

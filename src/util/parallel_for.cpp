@@ -1,0 +1,88 @@
+#include "util/parallel_for.hpp"
+
+namespace tess::util {
+
+int ThreadPool::resolve(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int total = resolve(threads);
+  workers_.reserve(static_cast<std::size_t>(total - 1));
+  for (int w = 1; w < total; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop(int worker) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    start_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    auto job = job_;  // shared: keeps the run's state alive past run()
+    lk.unlock();
+    work(*job, worker);
+    lk.lock();
+  }
+}
+
+void ThreadPool::work(Job& job, int worker) {
+  for (;;) {
+    const int chunk = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job.limit) return;
+    try {
+      (*job.fn)(chunk, worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 == job.limit) {
+      // Lock so the notification cannot slip between the caller's predicate
+      // check and its wait.
+      std::lock_guard<std::mutex> lk(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(int num_chunks, const std::function<void(int, int)>& fn) {
+  if (num_chunks <= 0) return;
+  if (workers_.empty() || num_chunks == 1) {
+    // Serial fast path: no handoff, no atomics.
+    for (int chunk = 0; chunk < num_chunks; ++chunk) fn(chunk, 0);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->limit = num_chunks;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  work(*job, 0);
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    done_cv_.wait(lk, [&] {
+      return job->completed.load(std::memory_order_acquire) == job->limit;
+    });
+  }
+  // All chunks are done; a worker still holding the job can only observe an
+  // exhausted cursor, so `fn` is no longer reachable after this point.
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace tess::util

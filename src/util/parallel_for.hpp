@@ -1,0 +1,99 @@
+// Intra-rank worker pool and parallel-for primitive.
+//
+// A rank in this codebase is a std::thread (see comm/comm.hpp); the pool
+// adds a second, nested level of parallelism *inside* a rank for
+// embarrassingly parallel loops such as per-cell Voronoi construction —
+// the same structure as the multithreaded VORO++ extension. Total thread
+// count is bounded by ranks x threads, and each pool is owned by exactly
+// one rank, so there is no cross-rank sharing to synchronize.
+//
+// Work is handed out as chunks through an atomic cursor (dynamic load
+// balancing: clustered particle distributions make per-cell cost wildly
+// nonuniform). Determinism is the caller's contract: chunk boundaries must
+// not depend on the thread count, and per-chunk results must be merged in
+// chunk order — then the output is identical for any pool size.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tess::util {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the calling thread:
+  /// the pool spawns threads-1 workers. 0 means hardware concurrency;
+  /// values are clamped to >= 1.
+  explicit ThreadPool(int threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the calling thread).
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Resolve a TessOptions-style thread knob: 0 -> hardware concurrency,
+  /// anything else clamped to >= 1.
+  static int resolve(int requested);
+
+  /// Run fn(chunk, worker) for every chunk in [0, num_chunks), distributed
+  /// dynamically over size() threads; the calling thread participates as
+  /// worker 0, spawned workers are 1..size()-1. Blocks until every chunk
+  /// has finished. If fn throws, the first exception is rethrown here after
+  /// the loop completes (remaining chunks still run). Not reentrant: one
+  /// run() at a time per pool.
+  void run(int num_chunks, const std::function<void(int, int)>& fn);
+
+ private:
+  // Per-run state. Heap-allocated and shared with the workers so a worker
+  // that wakes late — or is still draining the cursor when run() returns —
+  // operates on its own run's atomics, where the cursor is already
+  // exhausted, instead of racing a subsequent run().
+  struct Job {
+    const std::function<void(int, int)>* fn = nullptr;
+    int limit = 0;
+    std::atomic<int> next{0};
+    std::atomic<int> completed{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+
+  void work(Job& job, int worker);
+  void worker_loop(int worker);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Split [0, n) into chunks of `grain` (the last one ragged) and invoke
+/// fn(begin, end, chunk, worker) for each. Chunking depends only on n and
+/// grain — never on the pool size — so per-chunk outputs merged in chunk
+/// order are reproducible across thread counts.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, std::size_t grain, Fn&& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const int num_chunks = static_cast<int>((n + grain - 1) / grain);
+  pool.run(num_chunks, [&](int chunk, int worker) {
+    const std::size_t begin = static_cast<std::size_t>(chunk) * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    fn(begin, end, chunk, worker);
+  });
+}
+
+}  // namespace tess::util

@@ -1,0 +1,139 @@
+// A vector with inline storage for the first N elements, for hot-path
+// containers whose typical size is small and bounded (e.g. the vertex loop
+// of a Voronoi face, which is almost always <= 8 vertices). Elements live
+// in the object itself until the capacity N is exceeded, at which point the
+// contents spill to the heap — so steady-state geometry kernels that reuse
+// their containers never allocate.
+//
+// Restricted to trivially copyable element types, which keeps growth and
+// moves memcpy-simple and makes the container itself cheap to move.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+namespace tess::util {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(N > 0);
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+  SmallVector(std::initializer_list<T> il) { assign(il.begin(), il.end()); }
+
+  SmallVector(const SmallVector& o) { assign(o.begin(), o.end()); }
+  SmallVector& operator=(const SmallVector& o) {
+    if (this != &o) assign(o.begin(), o.end());
+    return *this;
+  }
+
+  SmallVector(SmallVector&& o) noexcept { steal(std::move(o)); }
+  SmallVector& operator=(SmallVector&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal(std::move(o));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { release(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  /// True while the elements still live inside the object (no heap spill).
+  [[nodiscard]] bool inlined() const { return heap_ == nullptr; }
+
+  [[nodiscard]] T* data() { return heap_ ? heap_ : inline_; }
+  [[nodiscard]] const T* data() const { return heap_ ? heap_ : inline_; }
+
+  [[nodiscard]] iterator begin() { return data(); }
+  [[nodiscard]] iterator end() { return data() + size_; }
+  [[nodiscard]] const_iterator begin() const { return data(); }
+  [[nodiscard]] const_iterator end() const { return data() + size_; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T& front() { return data()[0]; }
+  const T& front() const { return data()[0]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow(size_ + 1);
+    data()[size_++] = v;
+  }
+
+  void pop_back() { --size_; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  template <typename Range>
+  void assign(const Range& r) {
+    assign(r.begin(), r.end());
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  void grow(std::size_t need) {
+    std::size_t cap = cap_;
+    while (cap < need) cap *= 2;
+    T* mem = new T[cap];
+    std::memcpy(mem, data(), size_ * sizeof(T));
+    release();
+    heap_ = mem;
+    cap_ = cap;
+  }
+
+  void release() {
+    delete[] heap_;
+    heap_ = nullptr;
+    cap_ = N;
+  }
+
+  void steal(SmallVector&& o) noexcept {
+    if (o.heap_) {
+      heap_ = o.heap_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.heap_ = nullptr;
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      cap_ = N;
+      size_ = o.size_;
+      std::memcpy(inline_, o.inline_, size_ * sizeof(T));
+      o.size_ = 0;
+    }
+  }
+
+  T* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+  T inline_[N];
+};
+
+}  // namespace tess::util
