@@ -42,6 +42,16 @@ struct TessOptions {
   /// domain side (safety stop; 0.5 covers any cell in a periodic domain).
   double auto_ghost_max_fraction = 0.5;
 
+  /// Incremental auto_ghost (only meaningful with auto_ghost = true). When
+  /// true, each doubling pass exchanges only the new ghost annulus, appends
+  /// it to the existing cell builder, and rebuilds only the cells that were
+  /// not yet complete and certified; cells certified in an earlier pass are
+  /// reused as-is. When false, every pass re-exchanges and rebuilds
+  /// everything (restart-from-scratch). Both settings produce byte-identical
+  /// serialized meshes — the canonicalized cell geometry is independent of
+  /// the construction path — so this is purely a performance switch.
+  bool incremental = true;
+
   /// Intra-rank worker threads for the per-cell Voronoi loop (the paper's
   /// dominant cost). 1 = serial (default), 0 = hardware concurrency, n > 1
   /// = a pool of n threads per rank. Total process parallelism is bounded

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <optional>
 
 #include "diy/blockio.hpp"
 #include "geom/cell_builder.hpp"
@@ -23,37 +24,261 @@ BlockMesh Tessellator::tessellate(const std::vector<diy::Particle>& mine) {
 
   if (!options_.auto_ghost) {
     stats_.ghost_used = options_.ghost;
-    return tessellate_once(mine, options_.ghost);
+    BlockMesh mesh = tessellate_once(mine, options_.ghost);
+    stats_.iterations.push_back({options_.ghost, stats_.exchange_seconds,
+                                 stats_.compute_seconds, stats_.ghost_sent,
+                                 stats_.ghost_received, mine.size(),
+                                 stats_.cells_incomplete,
+                                 stats_.cells_uncertified});
+    return mesh;
   }
+  return tessellate_auto(mine);
+}
 
+BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
   // Automatic ghost-size determination (paper §V future work): repeat with
   // a doubled ghost zone until every cell is both complete and certified by
   // its security radius — at that point no particle outside the ghost zone
   // could have altered any cell, so the result equals the serial one.
+  //
+  // With options.incremental, the loop reuses everything a pass has proved:
+  // pass k exchanges only the ghost annulus (g_{k-1}, g_k], appends it to
+  // the existing CellBuilder grid, and rebuilds only the sites not yet
+  // complete AND certified. A cell certified at ghost g is exact — no
+  // particle beyond g can cut it — so its geometry at any larger ghost is
+  // the same cell, and VoronoiCell::canonicalize() makes the stored bytes
+  // independent of which pass built it. With incremental = false every pass
+  // re-exchanges and rebuilds everything; the two modes emit byte-identical
+  // meshes (asserted by tests), differing only in work done.
+  util::ThreadCpuTimer timer;
   const geom::Vec3 dsize = decomp_->domain_size();
   const double ghost_cap =
       options_.auto_ghost_max_fraction * std::min({dsize.x, dsize.y, dsize.z});
   double ghost = std::min(std::max(options_.ghost, 1e-12), ghost_cap);
-  BlockMesh mesh;
+  const bool reuse = options_.incremental;
+  const auto bounds = exchanger_.my_bounds();
+  const std::size_t n = mine.size();
+
+  double early_diam2 = 0.0;
+  if (options_.min_volume > 0.0 && options_.early_cull) {
+    const double r = std::cbrt(options_.min_volume * 3.0 / (4.0 * std::numbers::pi));
+    early_diam2 = 4.0 * r * r;
+  }
+
+  // Per-site state carried across passes. A site is terminal once its cell
+  // is complete AND certified; until then it stays on the pending list.
+  // Classification (kept/culled) is recorded every pass so a cap-stopped
+  // run still reports the last pass's best answer for uncertified cells.
+  enum : std::uint8_t { kPending = 0, kKept = 1, kCulledEarly = 2, kCulledVolume = 3 };
+  std::vector<std::uint8_t> state(n, kPending);
+  std::vector<std::uint8_t> complete_flags(n, 0);
+  std::vector<std::uint8_t> certified(n, 0);
+  std::vector<std::optional<geom::VoronoiCell>> cell_of(n);
+  std::vector<double> vol_of(n, 0.0), area_of(n, 0.0);
+  std::vector<std::size_t> pending(n);
+  for (std::size_t i = 0; i < n; ++i) pending[i] = i;
+
+  std::optional<geom::CellBuilder> builder;
+  const int nthreads = pool_->size();
+  const geom::VoronoiCell proto({0, 0, 0}, {-1, -1, -1}, {1, 1, 1});
+  std::vector<geom::VoronoiCell> cells(static_cast<std::size_t>(nthreads), proto);
+  std::vector<geom::ClipScratch> scratches(static_cast<std::size_t>(nthreads));
+  constexpr std::size_t kGrain = 64;
+
+  double prev_ghost = 0.0;
   for (int iteration = 1;; ++iteration) {
-    const auto saved = stats_;
-    stats_ = TessStats{};
-    stats_.local_particles = mine.size();
-    mesh = tessellate_once(mine, ghost);
-    stats_.exchange_seconds += saved.exchange_seconds;
-    stats_.compute_seconds += saved.compute_seconds;
+    const auto seed = bounds.grown(ghost);
+
+    // 1. Ghost exchange: full ball on the first pass (and every pass when
+    // not reusing), the (prev_ghost, ghost] annulus afterwards. The annuli
+    // partition the ball exactly — distances are computed by the same
+    // expressions every call — so the union of all arrivals equals a single
+    // from-scratch exchange at the current ghost.
+    timer.reset();
+    timer.start();
+    const bool fresh = iteration == 1 || !reuse;
+    const auto ghosts = fresh
+                            ? exchanger_.exchange_ghost(mine, ghost)
+                            : exchanger_.exchange_ghost_delta(mine, prev_ghost, ghost);
+    timer.stop();
+    IterationStats iter;
+    iter.ghost = ghost;
+    iter.exchange_seconds = timer.seconds();
+    iter.ghost_sent = exchanger_.last_sent();
+    iter.ghost_received = ghosts.size();
+
+    // 2. Builder: construct fresh or append the annulus to the existing
+    // grid. Either way the final-pass builder indexes the same particle
+    // multiset over the same grown box, and the canonical candidate order
+    // makes its cut sequences independent of how the arrays were assembled.
+    timer.reset();
+    timer.start();
+    std::vector<geom::Vec3> pts;
+    std::vector<std::int64_t> ids;
+    pts.reserve(mine.size() + ghosts.size());
+    ids.reserve(mine.size() + ghosts.size());
+    if (fresh) {
+      for (const auto& p : mine) {
+        pts.push_back(p.pos);
+        ids.push_back(p.id);
+      }
+    }
+    for (const auto& g : ghosts) {
+      pts.push_back(g.pos);
+      ids.push_back(g.id);
+    }
+    if (fresh) {
+      builder.emplace(std::move(pts), std::move(ids), seed.min, seed.max);
+      pending.resize(n);
+      for (std::size_t i = 0; i < n; ++i) pending[i] = i;
+    } else {
+      builder->add_points(pts, ids, seed.min, seed.max);
+    }
+
+    // 3. Rebuild the pending sites (all sites when not reusing), sharded
+    // over the pool in fixed chunks of the pending list. Every write goes
+    // to a per-chunk counter or a slot owned by exactly one pending site,
+    // so the result is deterministic for any thread count.
+    const std::size_t np = pending.size();
+    const std::size_t num_chunks = (np + kGrain - 1) / kGrain;
+    struct ChunkStat {
+      std::size_t incomplete = 0;
+      std::size_t uncertified = 0;
+      std::size_t culled_early = 0;
+      std::size_t culled_volume = 0;
+      double cpu_seconds = 0.0;
+    };
+    std::vector<ChunkStat> chunk_stats(num_chunks);
+    timer.stop();
+
+    util::parallel_for(
+        *pool_, np, kGrain,
+        [&](std::size_t begin, std::size_t end, int chunk, int worker) {
+          util::ThreadCpuTimer chunk_timer;
+          chunk_timer.start();
+          ChunkStat& cs = chunk_stats[static_cast<std::size_t>(chunk)];
+          auto& cell = cells[static_cast<std::size_t>(worker)];
+          auto& scratch = scratches[static_cast<std::size_t>(worker)];
+          for (std::size_t pi = begin; pi < end; ++pi) {
+            const std::size_t i = pending[pi];
+            builder->build_into(cell, scratch, static_cast<int>(i), seed.min,
+                                seed.max);
+            if (!cell.complete()) {
+              ++cs.incomplete;
+              complete_flags[i] = 0;
+              certified[i] = 0;
+              state[i] = kPending;
+              cell_of[i].reset();
+              continue;
+            }
+            complete_flags[i] = 1;
+            // Canonical form before any decision: every classification below
+            // then depends only on the cell's true geometry, never on the
+            // pass that built it — the retained-cell bytes and the
+            // would-be-rebuilt bytes coincide.
+            cell.canonicalize();
+            certified[i] = 4.0 * cell.max_radius2() <= ghost * ghost ? 1 : 0;
+            if (!certified[i]) ++cs.uncertified;
+            if (early_diam2 > 0.0 &&
+                cell.max_vertex_separation2() < early_diam2) {
+              ++cs.culled_early;
+              state[i] = kCulledEarly;
+              cell_of[i].reset();
+              continue;
+            }
+            double volume = cell.volume();
+            double area = cell.area();
+            if (options_.hull_pass) {
+              const auto hull = geom::convex_hull(cell.vertices());
+              if (!hull.degenerate) {
+                volume = hull.volume;
+                area = hull.area;
+              }
+            }
+            if ((options_.min_volume > 0.0 && volume < options_.min_volume) ||
+                (options_.max_volume > 0.0 && volume > options_.max_volume)) {
+              ++cs.culled_volume;
+              state[i] = kCulledVolume;
+              cell_of[i].reset();
+              continue;
+            }
+            state[i] = kKept;
+            cell_of[i] = cell;
+            vol_of[i] = volume;
+            area_of[i] = area;
+          }
+          chunk_timer.stop();
+          cs.cpu_seconds = chunk_timer.seconds();
+        });
+
+    timer.start();
+    std::size_t pass_incomplete = 0, pass_uncertified = 0;
+    double loop_cpu = 0.0;
+    for (const auto& cs : chunk_stats) {
+      pass_incomplete += cs.incomplete;
+      pass_uncertified += cs.uncertified;
+      loop_cpu += cs.cpu_seconds;
+    }
+    timer.stop();
+    iter.compute_seconds =
+        timer.seconds() + loop_cpu / static_cast<double>(nthreads);
+    iter.cells_built = np;
+    iter.cells_incomplete = pass_incomplete;
+    iter.cells_uncertified = pass_uncertified;
+
+    stats_.exchange_seconds += iter.exchange_seconds;
+    stats_.compute_seconds += iter.compute_seconds;
+    stats_.ghost_sent += iter.ghost_sent;
+    stats_.ghost_received += iter.ghost_received;
+    stats_.iterations.push_back(iter);
     stats_.auto_iterations = iteration;
     stats_.ghost_used = ghost;
 
     // Incomplete cells only count against certification when the domain is
     // periodic (in open domains, hull cells are unbounded and are dropped
-    // exactly as in fixed-ghost mode).
-    std::size_t unresolved = stats_.cells_uncertified;
-    if (decomp_->periodic()) unresolved += stats_.cells_incomplete;
+    // exactly as in fixed-ghost mode). Sites already retired contribute
+    // nothing — a certified cell stays complete and certified at any larger
+    // ghost — so this count matches what a full rebuild would report.
+    std::size_t unresolved = pass_uncertified;
+    if (decomp_->periodic()) unresolved += pass_incomplete;
     const auto total = comm_->allreduce_sum(unresolved);
     if (total == 0 || ghost >= ghost_cap) break;
+
+    std::vector<std::size_t> next_pending;
+    next_pending.reserve(pending.size());
+    for (const std::size_t i : pending)
+      if (!(complete_flags[i] && certified[i])) next_pending.push_back(i);
+    pending = std::move(next_pending);
+    prev_ghost = ghost;
     ghost = std::min(2.0 * ghost, ghost_cap);
   }
+
+  // Final assembly in site order from the per-site results — the order and
+  // the welded-vertex numbering are therefore mode- and thread-independent.
+  timer.reset();
+  timer.start();
+  BlockMesh mesh;
+  mesh.bounds = bounds;
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (state[i]) {
+      case kKept:
+        mesh.add_cell(mine[i].id, *cell_of[i], vol_of[i], area_of[i]);
+        ++stats_.cells_kept;
+        break;
+      case kCulledEarly:
+        ++stats_.cells_culled_early;
+        break;
+      case kCulledVolume:
+        ++stats_.cells_culled_volume;
+        break;
+      default:
+        ++stats_.cells_incomplete;
+        break;
+    }
+    if (complete_flags[i] && !certified[i]) ++stats_.cells_uncertified;
+  }
+  timer.stop();
+  stats_.compute_seconds += timer.seconds();
   return mesh;
 }
 
@@ -233,6 +458,20 @@ TessStats Tessellator::reduced_stats() const {
   r.ghost_used = comm_->allreduce_max(stats_.ghost_used);
   r.auto_iterations = comm_->allreduce_max(stats_.auto_iterations);
   r.cells_uncertified = comm_->allreduce_sum(stats_.cells_uncertified);
+  // Per-pass entries reduce element-wise; the loop is collective, so every
+  // rank holds the same number of iterations.
+  for (std::size_t k = 0; k < r.iterations.size(); ++k) {
+    auto& it = r.iterations[k];
+    const auto& mine = stats_.iterations[k];
+    it.ghost = comm_->allreduce_max(mine.ghost);
+    it.exchange_seconds = comm_->allreduce_max(mine.exchange_seconds);
+    it.compute_seconds = comm_->allreduce_max(mine.compute_seconds);
+    it.ghost_sent = comm_->allreduce_sum(mine.ghost_sent);
+    it.ghost_received = comm_->allreduce_sum(mine.ghost_received);
+    it.cells_built = comm_->allreduce_sum(mine.cells_built);
+    it.cells_incomplete = comm_->allreduce_sum(mine.cells_incomplete);
+    it.cells_uncertified = comm_->allreduce_sum(mine.cells_uncertified);
+  }
   return r;
 }
 

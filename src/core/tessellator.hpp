@@ -34,6 +34,20 @@
 
 namespace tess::core {
 
+/// One tessellation pass of the (auto-ghost) loop, for per-iteration
+/// accounting: fixed-ghost runs record exactly one entry. Counters are the
+/// pass's own values; the cumulative totals live in TessStats.
+struct IterationStats {
+  double ghost = 0.0;              ///< ghost size used by this pass
+  double exchange_seconds = 0.0;
+  double compute_seconds = 0.0;
+  std::size_t ghost_sent = 0;      ///< particles sent (annulus only, when incremental)
+  std::size_t ghost_received = 0;  ///< particles received by this pass
+  std::size_t cells_built = 0;     ///< sites (re)built this pass
+  std::size_t cells_incomplete = 0;   ///< among the sites built this pass
+  std::size_t cells_uncertified = 0;  ///< among the sites built this pass
+};
+
 struct TessStats {
   double exchange_seconds = 0.0;
   double compute_seconds = 0.0;
@@ -43,6 +57,8 @@ struct TessStats {
   }
 
   std::size_t local_particles = 0;
+  /// Cumulative across auto-ghost passes (see `iterations` for the
+  /// per-pass breakdown).
   std::size_t ghost_received = 0;
   std::size_t ghost_sent = 0;
   std::size_t cells_kept = 0;
@@ -58,6 +74,10 @@ struct TessStats {
   /// Cells whose security radius was not covered by the ghost zone in the
   /// final pass (0 means the result is certified exact).
   std::size_t cells_uncertified = 0;
+  /// Per-pass breakdown, one entry per tessellation pass (exactly one in
+  /// fixed-ghost mode). The same length on every rank — the auto loop is
+  /// collective.
+  std::vector<IterationStats> iterations;
 };
 
 class Tessellator {
@@ -87,6 +107,9 @@ class Tessellator {
 
  private:
   BlockMesh tessellate_once(const std::vector<diy::Particle>& mine, double ghost);
+  /// The auto-ghost doubling loop (incremental or restart-from-scratch per
+  /// options.incremental; both produce byte-identical meshes).
+  BlockMesh tessellate_auto(const std::vector<diy::Particle>& mine);
 
   comm::Comm* comm_;
   const diy::Decomposition* decomp_;

@@ -1,6 +1,6 @@
 #include "diy/exchange.hpp"
 
-#include <map>
+#include <algorithm>
 #include <stdexcept>
 
 namespace tess::diy {
@@ -10,42 +10,77 @@ Exchanger::Exchanger(comm::Comm& comm, const Decomposition& decomp)
   if (decomp.num_blocks() != comm.size())
     throw std::invalid_argument(
         "Exchanger: one block per rank required (num_blocks != comm size)");
+
+  nbrs_ = decomp.neighbors(my_block());
+  nbr_bounds_.reserve(nbrs_.size());
+  for (const auto& nb : nbrs_) nbr_bounds_.push_back(decomp.block_bounds(nb.block));
+
+  for (const auto& nb : nbrs_)
+    if (nb.block != my_block()) send_blocks_.push_back(nb.block);
+  std::sort(send_blocks_.begin(), send_blocks_.end());
+  send_blocks_.erase(std::unique(send_blocks_.begin(), send_blocks_.end()),
+                     send_blocks_.end());
+  send_bufs_.resize(send_blocks_.size());
+
+  nbr_slot_.reserve(nbrs_.size());
+  for (const auto& nb : nbrs_) {
+    if (nb.block == my_block()) {
+      nbr_slot_.push_back(-1);
+    } else {
+      const auto it =
+          std::lower_bound(send_blocks_.begin(), send_blocks_.end(), nb.block);
+      nbr_slot_.push_back(static_cast<int>(it - send_blocks_.begin()));
+    }
+  }
 }
 
 std::vector<Particle> Exchanger::exchange_ghost(const std::vector<Particle>& mine,
                                                 double ghost) {
-  const auto nbrs = decomp_->neighbors(my_block());
+  // d >= 0 always, so the open lower bound -1 admits the whole ball [0, ghost].
+  return exchange_annulus(mine, -1.0, ghost);
+}
 
+std::vector<Particle> Exchanger::exchange_ghost_delta(
+    const std::vector<Particle>& mine, double ghost_prev, double ghost_next) {
+  return exchange_annulus(mine, ghost_prev, ghost_next);
+}
+
+std::vector<Particle> Exchanger::exchange_annulus(const std::vector<Particle>& mine,
+                                                  double ghost_prev,
+                                                  double ghost_next) {
   // Target-point destination selection: particle p goes to neighbor n iff
-  // its (periodically shifted) image lies within the ghost distance of n's
-  // block. Outgoing particles are grouped per destination *block* so each
-  // pair of ranks exchanges exactly one message.
-  std::map<int, std::vector<Particle>> outgoing;  // ordered for determinism
-  std::vector<Particle> self_images;
-  for (const auto& nb : nbrs) outgoing[nb.block];  // ensure symmetric message set
-  outgoing.erase(my_block());
+  // its (periodically shifted) image lies within the (ghost_prev, ghost_next]
+  // annulus around n's block. Outgoing particles are grouped per destination
+  // *block* — pushes interleave in (particle, neighbor) loop order, exactly
+  // as the original map-based grouping did — so each pair of ranks exchanges
+  // exactly one message with deterministic content. Every destination gets a
+  // message even when its buffer is empty (symmetric message set).
+  for (auto& buf : send_bufs_) buf.clear();
+  self_buf_.clear();
 
   last_sent_ = 0;
   for (const auto& p : mine) {
-    for (const auto& nb : nbrs) {
-      const Particle img{p.pos + nb.shift, p.id};
-      if (decomp_->block_bounds(nb.block).distance(img.pos) <= ghost) {
-        if (nb.block == my_block()) {
+    for (std::size_t i = 0; i < nbrs_.size(); ++i) {
+      const Particle img{p.pos + nbrs_[i].shift, p.id};
+      const double d = nbr_bounds_[i].distance(img.pos);
+      if (d <= ghost_next && d > ghost_prev) {
+        const int slot = nbr_slot_[i];
+        if (slot < 0) {
           // Wrap-around image of this block onto itself (tiny decompositions).
-          self_images.push_back(img);
+          self_buf_.push_back(img);
         } else {
-          outgoing[nb.block].push_back(img);
+          send_bufs_[static_cast<std::size_t>(slot)].push_back(img);
           ++last_sent_;
         }
       }
     }
   }
 
-  for (auto& [dest, parts] : outgoing) comm_->send(dest, kTagGhost, parts);
+  for (std::size_t s = 0; s < send_blocks_.size(); ++s)
+    comm_->send(send_blocks_[s], kTagGhost, send_bufs_[s]);
 
-  std::vector<Particle> ghosts = std::move(self_images);
-  for (const auto& [src, parts] : outgoing) {
-    (void)parts;
+  std::vector<Particle> ghosts = self_buf_;
+  for (const int src : send_blocks_) {
     auto in = comm_->recv<Particle>(src, kTagGhost);
     ghosts.insert(ghosts.end(), in.begin(), in.end());
   }

@@ -65,6 +65,19 @@ class Exchanger {
   std::vector<Particle> exchange_ghost(const std::vector<Particle>& mine,
                                        double ghost);
 
+  /// Annulus-delta exchange for the incremental auto-ghost loop: like
+  /// exchange_ghost, but a particle image is sent only when its distance d
+  /// to the neighbor block satisfies `ghost_prev < d <= ghost_next` — the
+  /// particles that become visible when the ghost grows from ghost_prev to
+  /// ghost_next. Distances are computed by the same expressions as
+  /// exchange_ghost, so an initial exchange at g0 followed by deltas
+  /// (g0,g1], (g1,g2], ... yields exactly the multiset exchange_ghost would
+  /// return at the final ghost: the annuli partition [0, g_final] without
+  /// duplicating or dropping any particle. Collective.
+  std::vector<Particle> exchange_ghost_delta(const std::vector<Particle>& mine,
+                                             double ghost_prev,
+                                             double ghost_next);
+
   /// Move particles to the blocks that now contain them (positions are
   /// wrapped into the domain first). Returns this block's new particle set.
   std::vector<Particle> migrate(std::vector<Particle> mine);
@@ -73,9 +86,27 @@ class Exchanger {
   [[nodiscard]] std::size_t last_sent() const { return last_sent_; }
 
  private:
+  std::vector<Particle> exchange_annulus(const std::vector<Particle>& mine,
+                                         double ghost_prev, double ghost_next);
+
   comm::Comm* comm_;
   const Decomposition* decomp_;
   std::size_t last_sent_ = 0;
+
+  // Neighborhood state cached at construction (the decomposition is
+  // immutable): neighbor list, hoisted per-neighbor block bounds, the sorted
+  // unique destination blocks, and for each neighbor the index of its
+  // destination's send buffer (-1 = wrap-around image of this block itself).
+  // The flat send buffers are cleared and reused every exchange, replacing
+  // the per-call std::map<int, std::vector<Particle>> of the original
+  // implementation while keeping the same deterministic per-block message
+  // content and (sorted-by-block) message order.
+  std::vector<Neighbor> nbrs_;
+  std::vector<Bounds> nbr_bounds_;
+  std::vector<int> send_blocks_;
+  std::vector<int> nbr_slot_;
+  std::vector<std::vector<Particle>> send_bufs_;
+  std::vector<Particle> self_buf_;
 
   static constexpr int kTagGhost = 100;
   static constexpr int kTagMigrate = 101;

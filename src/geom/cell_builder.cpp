@@ -11,20 +11,64 @@ CellBuilder::CellBuilder(std::vector<Vec3> points, std::vector<std::int64_t> ids
     : points_(std::move(points)), ids_(std::move(ids)), lo_(bounds_min), hi_(bounds_max) {
   if (!ids_.empty() && ids_.size() != points_.size())
     throw std::invalid_argument("CellBuilder: ids/points size mismatch");
+  rebuild_grid(target_per_dim(points_.size()));
+}
 
+int CellBuilder::target_per_dim(std::size_t n) {
   // Aim for ~4 points per bin so a shell sweep touches few empty bins.
-  const double n = static_cast<double>(std::max<std::size_t>(points_.size(), 1));
-  const int per_dim = std::max(1, static_cast<int>(std::cbrt(n / 4.0)));
+  const double nd = static_cast<double>(std::max<std::size_t>(n, 1));
+  return std::max(1, static_cast<int>(std::cbrt(nd / 4.0)));
+}
+
+void CellBuilder::rebuild_grid(int per_dim) {
   for (int a = 0; a < 3; ++a) {
     nb_[a] = per_dim;
     const double extent = hi_[static_cast<std::size_t>(a)] - lo_[static_cast<std::size_t>(a)];
     h_[a] = extent > 0.0 ? extent / per_dim : 1.0;
   }
-  bins_.resize(static_cast<std::size_t>(nb_[0]) * static_cast<std::size_t>(nb_[1]) *
-               static_cast<std::size_t>(nb_[2]));
+  const std::size_t nbins = static_cast<std::size_t>(nb_[0]) *
+                            static_cast<std::size_t>(nb_[1]) *
+                            static_cast<std::size_t>(nb_[2]);
+  for (auto& b : bins_) b.clear();  // keep per-bin capacity across rebuilds
+  bins_.resize(nbins);
   for (int i = 0; i < static_cast<int>(points_.size()); ++i)
     bins_[static_cast<std::size_t>(bin_of(points_[static_cast<std::size_t>(i)]))]
         .push_back(i);
+}
+
+void CellBuilder::add_points(const std::vector<Vec3>& points,
+                             const std::vector<std::int64_t>& ids,
+                             const Vec3& bounds_min, const Vec3& bounds_max) {
+  if (!ids.empty() && ids.size() != points.size())
+    throw std::invalid_argument("CellBuilder: ids/points size mismatch");
+  if ((ids_.empty() && !ids.empty() && !points_.empty()) ||
+      (!ids_.empty() && ids.empty() && !points.empty()))
+    throw std::invalid_argument("CellBuilder: id presence must match construction");
+
+  const int first_new = static_cast<int>(points_.size());
+  points_.insert(points_.end(), points.begin(), points.end());
+  ids_.insert(ids_.end(), ids.begin(), ids.end());
+
+  bool box_grew = false;
+  for (std::size_t a = 0; a < 3; ++a) {
+    if (bounds_min[a] < lo_[a]) {
+      lo_[a] = bounds_min[a];
+      box_grew = true;
+    }
+    if (bounds_max[a] > hi_[a]) {
+      hi_[a] = bounds_max[a];
+      box_grew = true;
+    }
+  }
+
+  const int per_dim = target_per_dim(points_.size());
+  if (box_grew || per_dim != nb_[0]) {
+    rebuild_grid(per_dim);
+  } else {
+    for (int i = first_new; i < static_cast<int>(points_.size()); ++i)
+      bins_[static_cast<std::size_t>(bin_of(points_[static_cast<std::size_t>(i)]))]
+          .push_back(i);
+  }
 }
 
 int CellBuilder::bin_of(const Vec3& p) const {
@@ -91,7 +135,27 @@ void CellBuilder::build_into(VoronoiCell& cell, ClipScratch& scratch, int site,
             ring_pts.emplace_back(dist2(s, points_[static_cast<std::size_t>(j)]), j);
           }
         }
-    std::sort(ring_pts.begin(), ring_pts.end());
+    // Canonical candidate order: distance, then id, then position. The key
+    // is a pure function of the particle (never its array index), so an
+    // incrementally grown builder and a from-scratch builder over the same
+    // point set cut every cell in the identical sequence — the invariant
+    // behind byte-identical incremental auto-ghost. Position breaks id ties
+    // between periodic self-images, which share one id.
+    std::sort(ring_pts.begin(), ring_pts.end(),
+              [this](const std::pair<double, int>& a,
+                     const std::pair<double, int>& b) {
+                if (a.first != b.first) return a.first < b.first;
+                const std::int64_t ia =
+                    ids_.empty() ? a.second : ids_[static_cast<std::size_t>(a.second)];
+                const std::int64_t ib =
+                    ids_.empty() ? b.second : ids_[static_cast<std::size_t>(b.second)];
+                if (ia != ib) return ia < ib;
+                const Vec3& pa = points_[static_cast<std::size_t>(a.second)];
+                const Vec3& pb = points_[static_cast<std::size_t>(b.second)];
+                if (pa.x != pb.x) return pa.x < pb.x;
+                if (pa.y != pb.y) return pa.y < pb.y;
+                return pa.z < pb.z;
+              });
 
     for (const auto& [d2, j] : ring_pts) {
       if (d2 > 4.0 * cell.max_radius2()) break;  // sorted: rest are farther

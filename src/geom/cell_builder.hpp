@@ -31,6 +31,21 @@ class CellBuilder {
   CellBuilder(std::vector<Vec3> points, std::vector<std::int64_t> ids,
               const Vec3& bounds_min, const Vec3& bounds_max);
 
+  /// Incremental append for the auto-ghost loop: add newly arrived ghost
+  /// particles without reconstructing the builder. `bounds` is the new
+  /// bounding box (typically the block bounds grown by the enlarged ghost);
+  /// it is unioned with the current box and, like the constructor's bounds,
+  /// must contain every point old and new — the ring sweep's lower-bound
+  /// pruning relies on no point being clamped into an edge bin from outside.
+  /// The grid is rebuilt (reusing bin storage) only when the box grows or
+  /// the target bins-per-dimension changes with the new point count;
+  /// otherwise only the new points are binned. `ids` must be non-empty iff
+  /// the builder was constructed with ids. Not safe to call concurrently
+  /// with build()/build_into().
+  void add_points(const std::vector<Vec3>& points,
+                  const std::vector<std::int64_t>& ids, const Vec3& bounds_min,
+                  const Vec3& bounds_max);
+
   /// Construct the Voronoi cell of `points[site]` clipped to the seed box
   /// [box_min, box_max] (typically the block bounds grown by the ghost
   /// thickness). The site must lie inside the seed box.
@@ -55,6 +70,11 @@ class CellBuilder {
 
  private:
   [[nodiscard]] int bin_of(const Vec3& p) const;
+  /// Target bins per dimension (~4 points per bin) for `n` points.
+  [[nodiscard]] static int target_per_dim(std::size_t n);
+  /// Resize the grid to per_dim^3 over [lo_, hi_] and re-bin every point,
+  /// reusing the bin storage (clear, not deallocate).
+  void rebuild_grid(int per_dim);
 
   std::vector<Vec3> points_;
   std::vector<std::int64_t> ids_;

@@ -57,6 +57,13 @@ void VoronoiCell::reset(const Vec3& site, const Vec3& box_min, const Vec3& box_m
   for (const auto& bf : kBoxFaces) {
     auto& f = faces_.emplace_back();
     f.source = bf.source;
+    // Outward box plane n·x <= d for source -(2a+1) (-axis) / -(2a+2) (+axis).
+    const int axis = static_cast<int>((-bf.source - 1) / 2);
+    const bool max_side = (-bf.source - 1) % 2 != 0;
+    f.plane_n = Vec3{};
+    f.plane_n[static_cast<std::size_t>(axis)] = max_side ? 1.0 : -1.0;
+    f.plane_d = max_side ? box_max[static_cast<std::size_t>(axis)]
+                         : -box_min[static_cast<std::size_t>(axis)];
     f.verts.assign(bf.v, bf.v + 4);
   }
   recompute_radius();
@@ -174,6 +181,8 @@ bool VoronoiCell::clip(const Plane& plane, ClipScratch& s) {
     if (s.loop.size() >= 3) {
       auto& nf = s.faces_buf.emplace_back();
       nf.source = f.source;
+      nf.plane_n = f.plane_n;
+      nf.plane_d = f.plane_d;
       nf.verts.assign(s.loop.begin(), s.loop.end());
     }
   }
@@ -184,6 +193,8 @@ bool VoronoiCell::clip(const Plane& plane, ClipScratch& s) {
   if (cap_edges >= 3) {
     auto& cap = s.faces_buf.emplace_back();
     cap.source = plane.source;
+    cap.plane_n = plane.n;
+    cap.plane_d = plane.d;
     int start = -1;
     for (std::size_t i = 0; i < s.cap_next.size(); ++i)
       if (s.cap_next[i] >= 0) {
@@ -240,6 +251,8 @@ bool VoronoiCell::clip(const Plane& plane, ClipScratch& s) {
           std::reverse(s.cap_verts.begin(), s.cap_verts.end());
         auto& cap2 = s.faces_buf.emplace_back();
         cap2.source = plane.source;
+        cap2.plane_n = plane.n;
+        cap2.plane_d = plane.d;
         cap2.verts.assign(s.cap_verts.begin(), s.cap_verts.end());
       }
     }
@@ -444,6 +457,115 @@ void VoronoiCell::compact() {
     }
   verts_ = std::move(new_verts);
   gens_ = std::move(new_gens);
+}
+
+namespace {
+
+// Total order on face planes, a pure function of the generating geometry
+// (source id, then the plane itself — planes disambiguate periodic images
+// that share a source id).
+bool plane_key_less(const VoronoiCell::Face& a, const VoronoiCell::Face& b) {
+  if (a.source != b.source) return a.source < b.source;
+  if (a.plane_n.x != b.plane_n.x) return a.plane_n.x < b.plane_n.x;
+  if (a.plane_n.y != b.plane_n.y) return a.plane_n.y < b.plane_n.y;
+  if (a.plane_n.z != b.plane_n.z) return a.plane_n.z < b.plane_n.z;
+  return a.plane_d < b.plane_d;
+}
+
+bool vec3_lex_less(const Vec3& a, const Vec3& b) {
+  if (a.x != b.x) return a.x < b.x;
+  if (a.y != b.y) return a.y < b.y;
+  return a.z < b.z;
+}
+
+}  // namespace
+
+void VoronoiCell::canonicalize() {
+  compact();
+  if (faces_.empty()) return;
+
+  // Incident faces per vertex, in face order.
+  std::vector<util::SmallVector<int, 8>> incident(verts_.size());
+  for (std::size_t fi = 0; fi < faces_.size(); ++fi)
+    for (int v : faces_[fi].verts)
+      incident[static_cast<std::size_t>(v)].push_back(static_cast<int>(fi));
+
+  // Recompute each vertex as the intersection of three incident planes,
+  // picked as the first well-conditioned triple in plane-key order. The
+  // solved coordinates depend only on the planes (i.e. on the raw site and
+  // neighbor positions), never on the clipping history, the seed box, or
+  // the candidate order. Vertices with a box-plane face (incomplete cells)
+  // or without a conditioned triple keep their clipped coordinates.
+  const double cond_eps = 1e-8;
+  for (std::size_t v = 0; v < verts_.size(); ++v) {
+    auto& inc = incident[v];
+    if (inc.size() < 3) continue;
+    std::sort(inc.begin(), inc.end(), [&](int a, int b) {
+      return plane_key_less(faces_[static_cast<std::size_t>(a)],
+                            faces_[static_cast<std::size_t>(b)]);
+    });
+    bool on_box = false;
+    for (int fi : inc)
+      if (faces_[static_cast<std::size_t>(fi)].source < 0) on_box = true;
+    if (on_box) continue;
+    const std::size_t m = inc.size();
+    bool solved = false;
+    for (std::size_t i = 0; i < m && !solved; ++i)
+      for (std::size_t j = i + 1; j < m && !solved; ++j)
+        for (std::size_t k = j + 1; k < m && !solved; ++k) {
+          const auto& fa = faces_[static_cast<std::size_t>(inc[i])];
+          const auto& fb = faces_[static_cast<std::size_t>(inc[j])];
+          const auto& fc = faces_[static_cast<std::size_t>(inc[k])];
+          const Vec3 bc = cross(fb.plane_n, fc.plane_n);
+          const double det = dot(fa.plane_n, bc);
+          const double scale =
+              norm(fa.plane_n) * norm(fb.plane_n) * norm(fc.plane_n);
+          if (std::fabs(det) <= cond_eps * scale) continue;
+          verts_[v] = (bc * fa.plane_d + cross(fc.plane_n, fa.plane_n) * fb.plane_d +
+                       cross(fa.plane_n, fb.plane_n) * fc.plane_d) /
+                      det;
+          solved = true;
+        }
+  }
+
+  // Canonical face order and loop phase: sort faces by plane key, rotate
+  // each loop to start at its lexicographically smallest vertex (orientation
+  // is preserved, so loops stay CCW from outside).
+  std::sort(faces_.begin(), faces_.end(), plane_key_less);
+  std::vector<int> loop;
+  for (auto& f : faces_) {
+    const std::size_t m = f.verts.size();
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < m; ++i)
+      if (vec3_lex_less(verts_[static_cast<std::size_t>(f.verts[i])],
+                        verts_[static_cast<std::size_t>(f.verts[best])]))
+        best = i;
+    if (best == 0) continue;
+    loop.assign(f.verts.begin(), f.verts.end());
+    std::rotate(loop.begin(), loop.begin() + static_cast<std::ptrdiff_t>(best),
+                loop.end());
+    f.verts.assign(loop.begin(), loop.end());
+  }
+
+  // Renumber vertices by first use in the canonical face order.
+  std::vector<int> remap(verts_.size(), -1);
+  std::vector<Vec3> new_verts;
+  std::vector<std::array<std::int64_t, 3>> new_gens;
+  new_verts.reserve(verts_.size());
+  new_gens.reserve(verts_.size());
+  for (auto& f : faces_)
+    for (auto& v : f.verts) {
+      auto& slot = remap[static_cast<std::size_t>(v)];
+      if (slot < 0) {
+        slot = static_cast<int>(new_verts.size());
+        new_verts.push_back(verts_[static_cast<std::size_t>(v)]);
+        new_gens.push_back(gens_[static_cast<std::size_t>(v)]);
+      }
+      v = slot;
+    }
+  verts_ = std::move(new_verts);
+  gens_ = std::move(new_gens);
+  recompute_radius();
 }
 
 }  // namespace tess::geom

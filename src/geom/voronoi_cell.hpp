@@ -58,6 +58,12 @@ class VoronoiCell {
 
   struct Face {
     std::int64_t source = 0;  ///< neighbor particle id, or box plane id (< 0)
+    /// The generating plane n·x <= d. For bisector faces this is computed
+    /// from the raw site/neighbor coordinates only, so it is identical no
+    /// matter how the cell was constructed — the anchor that lets
+    /// canonicalize() erase the construction path from the geometry.
+    Vec3 plane_n{};
+    double plane_d = 0.0;
     /// CCW loop viewed from outside the cell.
     util::SmallVector<int, kInlineFaceVerts> verts;
   };
@@ -123,6 +129,18 @@ class VoronoiCell {
   /// cell exactly along an edge or corner (degenerate, e.g. lattice inputs).
   void compact();
 
+  /// Rewrite the cell into a canonical, construction-path-independent form
+  /// (compacts first): every vertex is recomputed as the exact intersection
+  /// of three of its incident face planes (chosen by a deterministic plane
+  /// key), faces are sorted by that key, each loop is rotated to start at
+  /// its lexicographically smallest vertex, and vertices are renumbered in
+  /// face order. Two builds of the same geometric cell — different candidate
+  /// orders, seed boxes, or point-array layouts — serialize identically
+  /// afterwards. Intended for complete cells, whose faces are all bisector
+  /// planes; vertices still touching a seed-box plane keep their clipped
+  /// coordinates.
+  void canonicalize();
+
  private:
   void prune_degenerate_faces();
   void recompute_radius();
@@ -153,6 +171,8 @@ struct ClipScratch {
   std::vector<int> cap_verts;             ///< degenerate-cap fallback order
 
   /// Candidate (dist2, index) pairs for the cell builder's ring sweep.
+  /// Sorted by (dist2, id, position) — a key independent of point-array
+  /// layout, so incremental and from-scratch builders cut in the same order.
   std::vector<std::pair<double, int>> ring_pts;
   /// Bisector cuts attempted through this scratch (per-thread accumulator;
   /// merged by the owner, see CellBuilder::cuts_attempted).

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <set>
+#include <tuple>
 
 #include "comm/comm.hpp"
 #include "diy/exchange.hpp"
@@ -144,6 +145,94 @@ TEST(Exchange, ZeroParticlesIsFine) {
     EXPECT_TRUE(ghosts.empty());
     auto settled = ex.migrate({});
     EXPECT_TRUE(settled.empty());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Annulus-delta exchange: an initial exchange at g0 plus the deltas of a
+// doubling schedule must union to exactly the from-scratch exchange at the
+// final ghost — the annuli partition the ghost ball without duplicating or
+// dropping any image.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Identity of a ghost image: id plus exact (shifted) position, so periodic
+// self-images with a shared id stay distinguishable.
+using ImageKey = std::tuple<std::int64_t, double, double, double>;
+
+std::multiset<ImageKey> image_multiset(const std::vector<Particle>& ps) {
+  std::multiset<ImageKey> s;
+  for (const auto& p : ps) s.insert({p.id, p.pos.x, p.pos.y, p.pos.z});
+  return s;
+}
+
+void expect_deltas_union_to_scratch(int nranks, bool periodic) {
+  const double domain = 10.0;
+  const auto all = global_particles(400, domain);
+  Runtime::run(nranks, [&](Comm& c) {
+    Decomposition d({0, 0, 0}, {domain, domain, domain},
+                    Decomposition::factor(nranks), periodic);
+    Exchanger ex(c, d);
+    const auto mine = mine_of(all, d, c.rank());
+    const auto bb = d.block_bounds(c.rank());
+
+    double ghost = 0.4;
+    auto acc = ex.exchange_ghost(mine, ghost);
+    std::size_t sent = ex.last_sent();
+    for (int k = 0; k < 3; ++k) {
+      const double next = 2.0 * ghost;
+      const auto delta = ex.exchange_ghost_delta(mine, ghost, next);
+      // Every delta image lies strictly inside the (ghost, next] annulus of
+      // my block (the sender evaluates the same distance expression).
+      for (const auto& p : delta) {
+        EXPECT_GT(bb.distance(p.pos), ghost);
+        EXPECT_LE(bb.distance(p.pos), next);
+      }
+      acc.insert(acc.end(), delta.begin(), delta.end());
+      sent += ex.last_sent();
+      ghost = next;
+    }
+
+    const auto scratch = ex.exchange_ghost(mine, ghost);
+    EXPECT_EQ(image_multiset(acc), image_multiset(scratch))
+        << "rank " << c.rank() << " periodic=" << periodic;
+    EXPECT_EQ(sent, ex.last_sent()) << "rank " << c.rank();
+  });
+}
+
+}  // namespace
+
+class AnnulusRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnnulusRanks, DeltasUnionToScratchOpenDomain) {
+  expect_deltas_union_to_scratch(GetParam(), false);
+}
+
+TEST_P(AnnulusRanks, DeltasUnionToScratchPeriodicDomain) {
+  expect_deltas_union_to_scratch(GetParam(), true);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, AnnulusRanks, ::testing::Values(1, 2, 4, 8));
+
+TEST(Exchange, AnnulusWrapOntoSelfSingleRankPeriodic) {
+  // One block, periodic: all ghosts are wrap-around self-images, which never
+  // cross the wire — the annulus split must still partition them exactly.
+  Runtime::run(1, [&](Comm& c) {
+    Decomposition d({0, 0, 0}, {4, 4, 4}, {1, 1, 1}, true);
+    Exchanger ex(c, d);
+    std::vector<Particle> mine{{{0.1, 2.0, 2.0}, 7}, {{3.9, 0.2, 3.8}, 8}};
+    double ghost = 0.3;
+    auto acc = ex.exchange_ghost(mine, ghost);
+    for (int k = 0; k < 3; ++k) {
+      const double next = 2.0 * ghost;
+      const auto delta = ex.exchange_ghost_delta(mine, ghost, next);
+      acc.insert(acc.end(), delta.begin(), delta.end());
+      ghost = next;
+    }
+    const auto scratch = ex.exchange_ghost(mine, ghost);
+    EXPECT_FALSE(scratch.empty());
+    EXPECT_EQ(image_multiset(acc), image_multiset(scratch));
   });
 }
 
