@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "comm/comm.hpp"
+#include "common.hpp"
 #include "core/standalone.hpp"
 #include "core/tessellator.hpp"
 #include "util/rng.hpp"
@@ -101,4 +102,16 @@ static void BM_AutoGhost_Incremental(benchmark::State& state) {
 }
 BENCHMARK(BM_AutoGhost_Incremental)->Arg(2000)->Arg(4000)->UseRealTime()->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): with TESS_OBS_EXPORT=<prefix>
+// in the environment, the run also emits <prefix>.trace.json (one
+// chrome://tracing lane per rank x thread showing the exchange / build /
+// retry spans) and <prefix>.summary.{json,tsv}.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  tess::bench::obs_begin_from_env();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  tess::bench::obs_export_from_env();
+  return 0;
+}

@@ -4,6 +4,7 @@
 // column is made of.
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
 #include "geom/cell_builder.hpp"
 #include "geom/convex_hull.hpp"
 #include "geom/predicates.hpp"
@@ -157,4 +158,14 @@ static void BM_Fft3D(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft3D)->Arg(16)->Arg(32)->Arg(64);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN() so TESS_OBS_EXPORT=<prefix> makes
+// the run emit <prefix>.trace.json and <prefix>.summary.{json,tsv}.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  tess::bench::obs_begin_from_env();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  tess::bench::obs_export_from_env();
+  return 0;
+}

@@ -11,9 +11,11 @@
 // shape: tessellation is a few percent of total time, exchange is
 // negligible, Voronoi computation dominates and scales with rank count.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common.hpp"
+#include "obs/obs.hpp"
 #include "util/table.hpp"
 
 using namespace tess;
@@ -38,6 +40,13 @@ double max_cell_volume(const std::vector<core::BlockMesh>& meshes) {
 int main() {
   std::printf("== Table II: performance data (scaled-down protocol) ==\n");
   std::printf("paper: 128^3-1024^3 particles on 128-16384 BG/P nodes\n\n");
+
+  // This bench always produces a machine-readable companion to the table:
+  // per-phase span totals plus every registered metric, to
+  // BENCH_table2.summary.{json,tsv} (prefix overridable via TESS_OBS_EXPORT).
+  tess::obs::Tracer::instance().set_enabled(true);
+  tess::obs::Tracer::instance().clear();
+  tess::obs::metrics().reset();
 
   util::Table table({"Particles", "Steps", "Ranks", "Total(s)", "Sim(s)",
                      "TessTotal(s)", "Exchange(s)", "Voronoi(s)", "Output(s)",
@@ -90,5 +99,11 @@ int main() {
   std::printf("paper shape: tessellation is 1-10%% of total run time; exchange is\n"
               "negligible; the serial Voronoi computation dominates tessellation\n"
               "time but shrinks with rank count; output grows with problem size\n");
+
+  const char* prefix_env = std::getenv("TESS_OBS_EXPORT");
+  const std::string prefix = prefix_env && *prefix_env ? prefix_env : "BENCH_table2";
+  bench::obs_export(prefix);
+  std::printf("observability summary written to %s.summary.{json,tsv} "
+              "(trace: %s.trace.json)\n", prefix.c_str(), prefix.c_str());
   return 0;
 }

@@ -1,8 +1,40 @@
 #include "common.hpp"
 
+#include <cstdlib>
 #include <mutex>
 
+#include "obs/obs.hpp"
+
 namespace tess::bench {
+
+namespace {
+
+const char* obs_export_prefix() { return std::getenv("TESS_OBS_EXPORT"); }
+
+}  // namespace
+
+bool obs_begin_from_env() {
+  const char* prefix = obs_export_prefix();
+  if (prefix == nullptr || *prefix == '\0') return false;
+  obs::Tracer::instance().set_enabled(true);
+  obs::Tracer::instance().clear();
+  obs::metrics().reset();
+  return true;
+}
+
+void obs_export_from_env() {
+  const char* prefix = obs_export_prefix();
+  if (prefix == nullptr || *prefix == '\0') return;
+  obs_export(prefix);
+}
+
+void obs_export(const std::string& prefix) {
+  const auto trace = obs::Tracer::instance().drain();
+  const auto snap = obs::metrics().snapshot();
+  obs::write_chrome_trace(prefix + ".trace.json", trace);
+  obs::write_summary_json(prefix + ".summary.json", trace, snap);
+  obs::write_summary_tsv(prefix + ".summary.tsv", trace, snap);
+}
 
 InSituResult run_insitu(int nranks, const InSituConfig& cfg) {
   InSituResult result;

@@ -66,4 +66,19 @@ InSituResult run_standalone(int nranks, const std::vector<diy::Particle>& partic
 /// reuse one snapshot across many tessellation configurations).
 std::vector<diy::Particle> evolve_snapshot(const hacc::SimConfig& cfg, int steps);
 
+/// Observability hooks, driven by the TESS_OBS_EXPORT environment variable.
+/// When it holds a path prefix, obs_begin_from_env() turns the tracer on and
+/// resets the metrics registry; returns whether exporting is active.
+/// No-op when the variable is unset.
+bool obs_begin_from_env();
+
+/// Write <prefix>.trace.json (chrome://tracing, one lane per rank x thread),
+/// <prefix>.summary.json, and <prefix>.summary.tsv for everything recorded
+/// since obs_begin_from_env(). No-op when TESS_OBS_EXPORT is unset.
+void obs_export_from_env();
+
+/// Same export, to an explicit prefix (used by benches that always emit a
+/// machine-readable summary alongside their table).
+void obs_export(const std::string& prefix);
+
 }  // namespace tess::bench

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace tess::analysis {
 
 std::size_t ConnectedComponents::find(std::size_t i) const {
@@ -13,6 +15,7 @@ std::size_t ConnectedComponents::find(std::size_t i) const {
 }
 
 ConnectedComponents::ConnectedComponents(const std::vector<core::BlockMesh>& blocks) {
+  TESS_SPAN("analysis.components");
   // Index the present cells.
   std::vector<double> volume;
   for (const auto& mesh : blocks)

@@ -7,6 +7,7 @@
 
 #include "analysis/components.hpp"
 #include "geom/vec3.hpp"
+#include "obs/trace.hpp"
 
 namespace tess::analysis {
 
@@ -143,6 +144,7 @@ Minkowski minkowski_functionals(const std::vector<core::BlockMesh>& blocks,
 
 std::vector<Minkowski> minkowski_all(const std::vector<core::BlockMesh>& blocks,
                                      const ConnectedComponents& cc) {
+  TESS_SPAN("analysis.minkowski");
   std::vector<Minkowski> out;
   out.reserve(cc.components().size());
   for (const auto& comp : cc.components())

@@ -1,9 +1,13 @@
 #include "analysis/threshold.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tess::analysis {
 
 std::vector<std::size_t> threshold_cells(const core::BlockMesh& mesh,
                                          double min_volume, double max_volume) {
+  TESS_SPAN("analysis.threshold");
   std::vector<std::size_t> out;
   for (std::size_t i = 0; i < mesh.cells.size(); ++i) {
     const double v = mesh.cells[i].volume;
@@ -11,6 +15,7 @@ std::vector<std::size_t> threshold_cells(const core::BlockMesh& mesh,
     if (max_volume > 0.0 && v > max_volume) continue;
     out.push_back(i);
   }
+  TESS_COUNT("analysis.cells_thresholded", out.size());
   return out;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "comm/context.hpp"
+#include "obs/metrics.hpp"
 
 namespace tess::comm {
 
@@ -37,6 +38,12 @@ class Comm {
     msg.payload.resize(bytes);
     if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
     ctx_->add_traffic(bytes);
+    TESS_COUNT("comm.messages", 1);
+    TESS_COUNT("comm.bytes", bytes);
+    TESS_HIST_ADD("comm.message_bytes", bytes);
+#if TESS_OBS_ENABLED
+    obs::metrics().add_tagged_message(tag, bytes);
+#endif
     ctx_->mailbox(dest).push(std::move(msg));
   }
 

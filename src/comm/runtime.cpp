@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "comm/comm.hpp"
+#include "obs/trace.hpp"
 
 namespace tess::comm {
 
@@ -14,8 +15,18 @@ void Runtime::run(int nranks, const std::function<void(Comm&)>& fn) {
   std::mutex error_mutex;
 
   if (nranks == 1) {
+    // Single-rank runs execute on the caller's thread: tag it as rank 0
+    // for span-lane/metric attribution and restore the old tag after.
+    const int prev_rank = obs::thread_rank();
+    obs::set_thread_rank(0);
     Comm comm(ctx, 0);
-    fn(comm);
+    try {
+      fn(comm);
+    } catch (...) {
+      obs::set_thread_rank(prev_rank);
+      throw;
+    }
+    obs::set_thread_rank(prev_rank);
     return;
   }
 
@@ -24,6 +35,7 @@ void Runtime::run(int nranks, const std::function<void(Comm&)>& fn) {
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       try {
+        obs::set_thread_rank(r);
         Comm comm(ctx, r);
         fn(comm);
       } catch (...) {

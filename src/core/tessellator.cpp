@@ -7,6 +7,8 @@
 #include "diy/blockio.hpp"
 #include "geom/cell_builder.hpp"
 #include "geom/convex_hull.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace tess::core {
 
@@ -18,21 +20,41 @@ Tessellator::Tessellator(comm::Comm& comm, const diy::Decomposition& decomp,
       exchanger_(comm, decomp),
       pool_(std::make_unique<util::ThreadPool>(options.threads)) {}
 
+void TessStats::finalize_from_iterations() {
+  ghost_sent = 0;
+  ghost_received = 0;
+  for (const auto& it : iterations) {
+    ghost_sent += it.ghost_sent;
+    ghost_received += it.ghost_received;
+  }
+}
+
 BlockMesh Tessellator::tessellate(const std::vector<diy::Particle>& mine) {
+  TESS_SPAN("tess.tessellate");
+  TESS_COUNT("tess.runs", 1);
   stats_ = TessStats{};
   stats_.local_particles = mine.size();
 
+  BlockMesh mesh;
   if (!options_.auto_ghost) {
     stats_.ghost_used = options_.ghost;
-    BlockMesh mesh = tessellate_once(mine, options_.ghost);
+    mesh = tessellate_once(mine, options_.ghost);
     stats_.iterations.push_back({options_.ghost, stats_.exchange_seconds,
                                  stats_.compute_seconds, stats_.ghost_sent,
                                  stats_.ghost_received, mine.size(),
                                  stats_.cells_incomplete,
                                  stats_.cells_uncertified});
-    return mesh;
+  } else {
+    mesh = tessellate_auto(mine);
   }
-  return tessellate_auto(mine);
+  stats_.finalize_from_iterations();
+  TESS_COUNT("tess.cells_kept", stats_.cells_kept);
+  TESS_COUNT("tess.cells_incomplete", stats_.cells_incomplete);
+  TESS_COUNT("tess.cells_culled_early", stats_.cells_culled_early);
+  TESS_COUNT("tess.cells_culled_volume", stats_.cells_culled_volume);
+  TESS_COUNT("tess.cells_uncertified", stats_.cells_uncertified);
+  TESS_GAUGE_SET("tess.ghost_used", stats_.ghost_used);
+  return mesh;
 }
 
 BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
@@ -87,6 +109,9 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
 
   double prev_ghost = 0.0;
   for (int iteration = 1;; ++iteration) {
+    TESS_SPAN(iteration == 1 ? "tess.pass" : "tess.retry_pass");
+    TESS_COUNT("tess.passes", 1);
+    if (iteration > 1) TESS_COUNT("tess.retries", 1);
     const auto seed = bounds.grown(ghost);
 
     // 1. Ghost exchange: full ball on the first pass (and every pass when
@@ -97,9 +122,13 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
     timer.reset();
     timer.start();
     const bool fresh = iteration == 1 || !reuse;
-    const auto ghosts = fresh
-                            ? exchanger_.exchange_ghost(mine, ghost)
-                            : exchanger_.exchange_ghost_delta(mine, prev_ghost, ghost);
+    std::vector<diy::Particle> ghosts;
+    {
+      TESS_SPAN(fresh ? "tess.exchange" : "tess.exchange_delta");
+      ghosts = fresh
+                   ? exchanger_.exchange_ghost(mine, ghost)
+                   : exchanger_.exchange_ghost_delta(mine, prev_ghost, ghost);
+    }
     timer.stop();
     IterationStats iter;
     iter.ghost = ghost;
@@ -149,11 +178,14 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
       double cpu_seconds = 0.0;
     };
     std::vector<ChunkStat> chunk_stats(num_chunks);
+    const std::uint64_t cuts_before = builder->cuts_attempted();
     timer.stop();
 
+    TESS_SPAN("tess.build_cells");
     util::parallel_for(
         *pool_, np, kGrain,
         [&](std::size_t begin, std::size_t end, int chunk, int worker) {
+          TESS_SPAN("tess.cell_chunk");
           util::ThreadCpuTimer chunk_timer;
           chunk_timer.start();
           ChunkStat& cs = chunk_stats[static_cast<std::size_t>(chunk)];
@@ -225,11 +257,15 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
     iter.cells_built = np;
     iter.cells_incomplete = pass_incomplete;
     iter.cells_uncertified = pass_uncertified;
+    TESS_COUNT("tess.ghost_sent", iter.ghost_sent);
+    TESS_COUNT("tess.ghost_received", iter.ghost_received);
+    TESS_COUNT("tess.cells_built", np);
+    TESS_COUNT("geom.cuts", builder->cuts_attempted() - cuts_before);
 
     stats_.exchange_seconds += iter.exchange_seconds;
     stats_.compute_seconds += iter.compute_seconds;
-    stats_.ghost_sent += iter.ghost_sent;
-    stats_.ghost_received += iter.ghost_received;
+    // Cumulative ghost traffic is NOT accumulated here: the per-pass entries
+    // are the single source of truth, folded once by finalize_from_iterations().
     stats_.iterations.push_back(iter);
     stats_.auto_iterations = iteration;
     stats_.ghost_used = ghost;
@@ -255,6 +291,7 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
 
   // Final assembly in site order from the per-site results — the order and
   // the welded-vertex numbering are therefore mode- and thread-independent.
+  TESS_SPAN("tess.assemble");
   timer.reset();
   timer.start();
   BlockMesh mesh;
@@ -287,14 +324,22 @@ BlockMesh Tessellator::tessellate_once(const std::vector<diy::Particle>& mine,
   // Thread CPU time: models this rank's own work even when thread-ranks
   // oversubscribe the host cores (see util/timer.hpp).
   util::ThreadCpuTimer timer;
+  TESS_SPAN("tess.pass");
+  TESS_COUNT("tess.passes", 1);
 
   // 1. Ghost-zone neighbor exchange.
   timer.start();
-  const auto ghosts = exchanger_.exchange_ghost(mine, ghost);
+  std::vector<diy::Particle> ghosts;
+  {
+    TESS_SPAN("tess.exchange");
+    ghosts = exchanger_.exchange_ghost(mine, ghost);
+  }
   timer.stop();
   stats_.exchange_seconds = timer.seconds();
   stats_.ghost_received = ghosts.size();
   stats_.ghost_sent = exchanger_.last_sent();
+  TESS_COUNT("tess.ghost_sent", stats_.ghost_sent);
+  TESS_COUNT("tess.ghost_received", stats_.ghost_received);
 
   // 2-4. Local Voronoi computation and culling.
   timer.reset();
@@ -357,56 +402,62 @@ BlockMesh Tessellator::tessellate_once(const std::vector<diy::Particle>& mine,
   // Pause the serial timer over the parallel loop: the calling thread works
   // chunks too, and that CPU is already accounted in the shard timers.
   timer.stop();
-  util::parallel_for(
-      *pool_, n, kGrain,
-      [&](std::size_t begin, std::size_t end, int chunk, int worker) {
-        util::ThreadCpuTimer chunk_timer;
-        chunk_timer.start();
-        Shard& shard = shards[static_cast<std::size_t>(chunk)];
-        auto& cell = cells[static_cast<std::size_t>(worker)];
-        auto& scratch = scratches[static_cast<std::size_t>(worker)];
-        for (std::size_t i = begin; i < end; ++i) {
-          builder.build_into(cell, scratch, static_cast<int>(i), seed.min,
-                             seed.max);
-          if (!cell.complete()) {
-            ++shard.incomplete;
-            continue;
-          }
-          // Security-radius certificate: every potential cutter of this cell
-          // lies within 2*Rmax of the site; if that ball fits inside the
-          // ghost-grown region, the cell is provably exact.
-          if (4.0 * cell.max_radius2() > ghost * ghost) ++shard.uncertified;
-          if (early_diam2 > 0.0 && cell.max_vertex_separation2() < early_diam2) {
-            ++shard.culled_early;
-            continue;
-          }
-          cell.compact();
-
-          double volume = cell.volume();
-          double area = cell.area();
-          if (options_.hull_pass) {
-            // Paper-faithful step: order the cell's vertices into faces via
-            // the convex hull and take volume/area from it.
-            const auto hull = geom::convex_hull(cell.vertices());
-            if (!hull.degenerate) {
-              volume = hull.volume;
-              area = hull.area;
+  TESS_COUNT("tess.cells_built", n);
+  {
+    TESS_SPAN("tess.build_cells");
+    util::parallel_for(
+        *pool_, n, kGrain,
+        [&](std::size_t begin, std::size_t end, int chunk, int worker) {
+          TESS_SPAN("tess.cell_chunk");
+          util::ThreadCpuTimer chunk_timer;
+          chunk_timer.start();
+          Shard& shard = shards[static_cast<std::size_t>(chunk)];
+          auto& cell = cells[static_cast<std::size_t>(worker)];
+          auto& scratch = scratches[static_cast<std::size_t>(worker)];
+          for (std::size_t i = begin; i < end; ++i) {
+            builder.build_into(cell, scratch, static_cast<int>(i), seed.min,
+                               seed.max);
+            if (!cell.complete()) {
+              ++shard.incomplete;
+              continue;
             }
-          }
-          if (options_.min_volume > 0.0 && volume < options_.min_volume) {
-            ++shard.culled_volume;
-            continue;
-          }
-          if (options_.max_volume > 0.0 && volume > options_.max_volume) {
-            ++shard.culled_volume;
-            continue;
-          }
-          shard.mesh.add_cell(mine[i].id, cell, volume, area);
-        }
-        chunk_timer.stop();
-        shard.cpu_seconds = chunk_timer.seconds();
-      });
+            // Security-radius certificate: every potential cutter of this cell
+            // lies within 2*Rmax of the site; if that ball fits inside the
+            // ghost-grown region, the cell is provably exact.
+            if (4.0 * cell.max_radius2() > ghost * ghost) ++shard.uncertified;
+            if (early_diam2 > 0.0 && cell.max_vertex_separation2() < early_diam2) {
+              ++shard.culled_early;
+              continue;
+            }
+            cell.compact();
 
+            double volume = cell.volume();
+            double area = cell.area();
+            if (options_.hull_pass) {
+              // Paper-faithful step: order the cell's vertices into faces via
+              // the convex hull and take volume/area from it.
+              const auto hull = geom::convex_hull(cell.vertices());
+              if (!hull.degenerate) {
+                volume = hull.volume;
+                area = hull.area;
+              }
+            }
+            if (options_.min_volume > 0.0 && volume < options_.min_volume) {
+              ++shard.culled_volume;
+              continue;
+            }
+            if (options_.max_volume > 0.0 && volume > options_.max_volume) {
+              ++shard.culled_volume;
+              continue;
+            }
+            shard.mesh.add_cell(mine[i].id, cell, volume, area);
+          }
+          chunk_timer.stop();
+          shard.cpu_seconds = chunk_timer.seconds();
+        });
+  }
+
+  TESS_SPAN("tess.assemble");
   timer.start();
   // Ordered merge: shard c holds sites [c*kGrain, (c+1)*kGrain), so
   // appending in chunk order reproduces the serial site order exactly.
@@ -426,10 +477,12 @@ BlockMesh Tessellator::tessellate_once(const std::vector<diy::Particle>& mine,
   // the pool width (== the loop CPU itself when threads == 1).
   stats_.compute_seconds =
       timer.seconds() + loop_cpu / static_cast<double>(nthreads);
+  TESS_COUNT("geom.cuts", builder.cuts_attempted());
   return mesh;
 }
 
 std::uint64_t Tessellator::write(const std::string& path, const BlockMesh& mesh) {
+  TESS_SPAN("tess.write");
   util::ThreadCpuTimer timer;
   timer.start();
   diy::Buffer buf;

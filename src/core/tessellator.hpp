@@ -57,8 +57,10 @@ struct TessStats {
   }
 
   std::size_t local_particles = 0;
-  /// Cumulative across auto-ghost passes (see `iterations` for the
-  /// per-pass breakdown).
+  /// Cumulative across auto-ghost passes. Derived: these are always the sum
+  /// of the per-pass values in `iterations` (recomputed by
+  /// finalize_from_iterations(); the per-pass entries are the single source
+  /// of truth).
   std::size_t ghost_received = 0;
   std::size_t ghost_sent = 0;
   std::size_t cells_kept = 0;
@@ -78,6 +80,12 @@ struct TessStats {
   /// fixed-ghost mode). The same length on every rank — the auto loop is
   /// collective.
   std::vector<IterationStats> iterations;
+
+  /// Recompute the cumulative ghost traffic counters from `iterations`, the
+  /// single source of truth. Called by Tessellator at the end of every
+  /// tessellate(); exposed so tests can assert the invariant
+  /// sum(per-pass) == cumulative.
+  void finalize_from_iterations();
 };
 
 class Tessellator {

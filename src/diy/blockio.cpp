@@ -8,6 +8,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tess::diy {
 
 namespace {
@@ -44,6 +47,8 @@ void pread_all(int fd, void* data, std::size_t bytes, std::uint64_t offset,
 
 std::uint64_t write_blocks(comm::Comm& comm, const std::string& path,
                            const Buffer& block) {
+  TESS_SPAN("diy.write_blocks");
+  TESS_COUNT("diy.block_bytes_written", block.size());
   // Rank 0 creates/truncates the file before anyone writes into it.
   if (comm.rank() == 0) {
     const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tess::diy {
 
 Exchanger::Exchanger(comm::Comm& comm, const Decomposition& decomp)
@@ -36,18 +39,21 @@ Exchanger::Exchanger(comm::Comm& comm, const Decomposition& decomp)
 
 std::vector<Particle> Exchanger::exchange_ghost(const std::vector<Particle>& mine,
                                                 double ghost) {
+  TESS_SPAN("diy.exchange_ghost");
   // d >= 0 always, so the open lower bound -1 admits the whole ball [0, ghost].
   return exchange_annulus(mine, -1.0, ghost);
 }
 
 std::vector<Particle> Exchanger::exchange_ghost_delta(
     const std::vector<Particle>& mine, double ghost_prev, double ghost_next) {
+  TESS_SPAN("diy.exchange_ghost_delta");
   return exchange_annulus(mine, ghost_prev, ghost_next);
 }
 
 std::vector<Particle> Exchanger::exchange_annulus(const std::vector<Particle>& mine,
                                                   double ghost_prev,
                                                   double ghost_next) {
+  TESS_SPAN("diy.exchange_annulus");
   // Target-point destination selection: particle p goes to neighbor n iff
   // its (periodically shifted) image lies within the (ghost_prev, ghost_next]
   // annulus around n's block. Outgoing particles are grouped per destination
@@ -84,10 +90,13 @@ std::vector<Particle> Exchanger::exchange_annulus(const std::vector<Particle>& m
     auto in = comm_->recv<Particle>(src, kTagGhost);
     ghosts.insert(ghosts.end(), in.begin(), in.end());
   }
+  TESS_COUNT("diy.ghost_sent", last_sent_);
+  TESS_COUNT("diy.ghost_received", ghosts.size());
   return ghosts;
 }
 
 std::vector<Particle> Exchanger::migrate(std::vector<Particle> mine) {
+  TESS_SPAN("diy.migrate");
   return migrate_items(*comm_, *decomp_, std::move(mine),
                        [](Particle& p) -> geom::Vec3& { return p.pos; },
                        kTagMigrate);

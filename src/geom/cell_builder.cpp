@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tess::geom {
 
 CellBuilder::CellBuilder(std::vector<Vec3> points, std::vector<std::int64_t> ids,
@@ -21,6 +24,8 @@ int CellBuilder::target_per_dim(std::size_t n) {
 }
 
 void CellBuilder::rebuild_grid(int per_dim) {
+  TESS_SPAN("geom.grid_rebuild");
+  TESS_COUNT("geom.grid_rebuilds", 1);
   for (int a = 0; a < 3; ++a) {
     nb_[a] = per_dim;
     const double extent = hi_[static_cast<std::size_t>(a)] - lo_[static_cast<std::size_t>(a)];
@@ -39,6 +44,7 @@ void CellBuilder::rebuild_grid(int per_dim) {
 void CellBuilder::add_points(const std::vector<Vec3>& points,
                              const std::vector<std::int64_t>& ids,
                              const Vec3& bounds_min, const Vec3& bounds_max) {
+  TESS_SPAN("geom.add_points");
   if (!ids.empty() && ids.size() != points.size())
     throw std::invalid_argument("CellBuilder: ids/points size mismatch");
   if ((ids_.empty() && !ids.empty() && !points_.empty()) ||

@@ -3,6 +3,9 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tess::hacc {
 
 namespace {
@@ -51,6 +54,8 @@ Fft3D::Fft3D(std::size_t nx, std::size_t ny, std::size_t nz)
 }
 
 void Fft3D::transform(std::vector<Complex>& grid, int sign) {
+  TESS_SPAN("hacc.fft");
+  TESS_COUNT("hacc.fft_transforms", 1);
   if (grid.size() != size())
     throw std::invalid_argument("Fft3D: grid size mismatch");
 

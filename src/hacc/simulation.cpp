@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "diy/exchange.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace tess::hacc {
 
@@ -54,6 +56,8 @@ std::vector<double> Simulation::reduce_density() const {
 }
 
 void Simulation::step() {
+  TESS_SPAN("hacc.step");
+  TESS_COUNT("hacc.steps", 1);
   const double da = cfg_.delta_a();
 
   // Poisson solve on rank 0, force grids broadcast to all.

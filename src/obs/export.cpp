@@ -1,0 +1,240 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace tess::obs {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void append_per_rank(std::ostringstream& os,
+                     const std::vector<std::pair<int, double>>& per_rank) {
+  os << "{";
+  bool first = true;
+  for (const auto& [rank, v] : per_rank) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << rank << "\":" << fmt_double(v);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::vector<SpanAgg> aggregate_spans(const TraceDump& dump) {
+  std::map<std::string_view, SpanAgg> by_name;
+  for (const auto& lane : dump.lanes) {
+    for (const auto& span : lane.spans) {
+      const double dur =
+          static_cast<double>(span.t1_ns - span.t0_ns) * 1e-9;
+      auto [it, inserted] = by_name.try_emplace(span.name);
+      SpanAgg& agg = it->second;
+      if (inserted) {
+        agg.name = span.name;
+        agg.min_s = dur;
+        agg.max_s = dur;
+      }
+      agg.count += 1;
+      agg.total_s += dur;
+      agg.min_s = std::min(agg.min_s, dur);
+      agg.max_s = std::max(agg.max_s, dur);
+    }
+  }
+  std::vector<SpanAgg> out;
+  out.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) out.push_back(std::move(agg));
+  return out;
+}
+
+std::string chrome_trace_json(const TraceDump& dump) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  // One chrome "process" per rank (pid = rank + 1; 0 holds unranked
+  // threads) and one chrome "thread" per lane: a rank×thread grid.
+  std::map<int, bool> pids;
+  for (const auto& lane : dump.lanes) {
+    const int pid = lane.rank + 1;
+    if (!pids.contains(pid)) {
+      pids[pid] = true;
+      sep();
+      os << "{\"ph\":\"M\",\"pid\":" << pid
+         << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+         << (lane.rank < 0 ? std::string("unranked")
+                           : "rank " + std::to_string(lane.rank))
+         << "\"}}";
+    }
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << lane.lane
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"thread "
+       << lane.lane << "\"}}";
+    for (const auto& span : lane.spans) {
+      sep();
+      os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << lane.lane
+         << ",\"name\":\"" << json_escape(span.name)
+         << "\",\"ts\":" << fmt_double(static_cast<double>(span.t0_ns) * 1e-3)
+         << ",\"dur\":"
+         << fmt_double(static_cast<double>(span.t1_ns - span.t0_ns) * 1e-3)
+         << ",\"args\":{\"depth\":" << span.depth << "}}";
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string summary_json(const TraceDump& dump,
+                         const MetricsSnapshot& metrics) {
+  std::ostringstream os;
+  os << "{\n  \"spans\": {";
+  const auto aggs = aggregate_spans(dump);
+  for (std::size_t i = 0; i < aggs.size(); ++i) {
+    const auto& a = aggs[i];
+    os << (i == 0 ? "" : ",") << "\n    \"" << json_escape(a.name)
+       << "\": {\"count\": " << a.count
+       << ", \"total_s\": " << fmt_double(a.total_s)
+       << ", \"min_s\": " << fmt_double(a.min_s)
+       << ", \"max_s\": " << fmt_double(a.max_s)
+       << ", \"mean_s\": " << fmt_double(a.mean_s()) << "}";
+  }
+  os << "\n  },\n";
+
+  auto emit_kind = [&os, &metrics](char kind, const char* label,
+                                   auto&& body) {
+    os << "  \"" << label << "\": {";
+    bool first = true;
+    for (const auto& s : metrics.samples) {
+      if (s.kind != kind) continue;
+      os << (first ? "" : ",") << "\n    \"" << json_escape(s.name) << "\": ";
+      body(s);
+      first = false;
+    }
+    os << "\n  },\n";
+  };
+  emit_kind('c', "counters", [&os](const MetricSample& s) {
+    os << "{\"total\": " << fmt_double(s.value) << ", \"per_rank\": ";
+    append_per_rank(os, s.per_rank);
+    os << "}";
+  });
+  emit_kind('g', "gauges", [&os](const MetricSample& s) {
+    os << "{\"value\": " << fmt_double(s.value) << ", \"per_rank\": ";
+    append_per_rank(os, s.per_rank);
+    os << "}";
+  });
+  emit_kind('h', "histograms", [&os](const MetricSample& s) {
+    os << "{\"count\": " << fmt_double(s.value)
+       << ", \"sum\": " << fmt_double(s.sum) << ", \"bins\": {";
+    bool first = true;
+    for (const auto& [floor, n] : s.bins) {
+      os << (first ? "" : ",") << "\"" << floor << "\":" << n;
+      first = false;
+    }
+    os << "}}";
+  });
+
+  os << "  \"lanes\": " << dump.lanes.size()
+     << ",\n  \"dropped_spans\": " << dump.total_dropped() << "\n}\n";
+  return os.str();
+}
+
+std::string summary_tsv(const TraceDump& dump,
+                        const MetricsSnapshot& metrics) {
+  std::ostringstream os;
+  os << "kind\tname\tcount\ttotal\tmin\tmax\n";
+  for (const auto& a : aggregate_spans(dump))
+    os << "span\t" << a.name << "\t" << a.count << "\t" << fmt_double(a.total_s)
+       << "\t" << fmt_double(a.min_s) << "\t" << fmt_double(a.max_s) << "\n";
+  for (const auto& s : metrics.samples) {
+    switch (s.kind) {
+      case 'c':
+        os << "counter\t" << s.name << "\t1\t" << fmt_double(s.value)
+           << "\t0\t0\n";
+        break;
+      case 'g':
+        os << "gauge\t" << s.name << "\t1\t" << fmt_double(s.value)
+           << "\t0\t0\n";
+        break;
+      case 'h':
+        os << "histogram\t" << s.name << "\t" << fmt_double(s.value) << "\t"
+           << fmt_double(s.sum) << "\t0\t0\n";
+        break;
+      default: break;
+    }
+  }
+  return os.str();
+}
+
+std::vector<SummaryRow> parse_summary_tsv(const std::string& text) {
+  std::vector<SummaryRow> rows;
+  std::istringstream is(text);
+  std::string line;
+  bool header = true;
+  while (std::getline(is, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    SummaryRow row;
+    std::istringstream ls(line);
+    std::string count, total, min, max;
+    if (!std::getline(ls, row.kind, '\t') ||
+        !std::getline(ls, row.name, '\t') || !std::getline(ls, count, '\t') ||
+        !std::getline(ls, total, '\t') || !std::getline(ls, min, '\t') ||
+        !std::getline(ls, max, '\t'))
+      throw std::runtime_error("parse_summary_tsv: malformed row: " + line);
+    row.count = std::stod(count);
+    row.total = std::stod(total);
+    row.min = std::stod(min);
+    row.max = std::stod(max);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    throw std::runtime_error("obs: cannot open '" + path + "' for writing");
+  const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (n != text.size())
+    throw std::runtime_error("obs: short write to '" + path + "'");
+}
+
+}  // namespace tess::obs

@@ -1,0 +1,78 @@
+// Exporters for the observability layer: chrome://tracing JSON (one lane
+// per rank×thread) and a flat machine-readable summary (JSON and TSV) of
+// per-phase span totals plus every registered metric — the format the
+// bench binaries emit natively and CI uploads for trend inspection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tess::obs {
+
+/// Per-name span aggregate across every lane of a dump.
+struct SpanAgg {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_s = 0.0;  ///< summed wall-clock duration
+  double min_s = 0.0;
+  double max_s = 0.0;
+  [[nodiscard]] double mean_s() const {
+    return count == 0 ? 0.0 : total_s / static_cast<double>(count);
+  }
+};
+
+/// Aggregate spans by name, sorted by name.
+[[nodiscard]] std::vector<SpanAgg> aggregate_spans(const TraceDump& dump);
+
+/// chrome://tracing "trace event" JSON: complete ("X") events with
+/// pid = rank + 1 (0 = unranked threads) and tid = the process-unique
+/// thread ordinal, plus process/thread name metadata — load the file via
+/// chrome://tracing or https://ui.perfetto.dev.
+[[nodiscard]] std::string chrome_trace_json(const TraceDump& dump);
+
+/// Flat summary JSON: {"spans": {...}, "counters": {...}, "gauges": {...},
+/// "histograms": {...}, "lanes": N, "dropped_spans": N}. Per-phase span
+/// totals are wall-clock seconds summed over all lanes.
+[[nodiscard]] std::string summary_json(const TraceDump& dump,
+                                       const MetricsSnapshot& metrics);
+
+/// Same content as one row-per-line TSV:
+///   kind<TAB>name<TAB>count<TAB>total<TAB>min<TAB>max
+/// with kind in {span, counter, gauge, histogram}. Round-trips through
+/// parse_summary_tsv.
+[[nodiscard]] std::string summary_tsv(const TraceDump& dump,
+                                      const MetricsSnapshot& metrics);
+
+struct SummaryRow {
+  std::string kind;
+  std::string name;
+  double count = 0.0;
+  double total = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Parse summary_tsv output (header line skipped). Throws on malformed rows.
+[[nodiscard]] std::vector<SummaryRow> parse_summary_tsv(
+    const std::string& text);
+
+void write_text_file(const std::string& path, const std::string& text);
+
+inline void write_chrome_trace(const std::string& path,
+                               const TraceDump& dump) {
+  write_text_file(path, chrome_trace_json(dump));
+}
+inline void write_summary_json(const std::string& path, const TraceDump& dump,
+                               const MetricsSnapshot& metrics) {
+  write_text_file(path, summary_json(dump, metrics));
+}
+inline void write_summary_tsv(const std::string& path, const TraceDump& dump,
+                              const MetricsSnapshot& metrics) {
+  write_text_file(path, summary_tsv(dump, metrics));
+}
+
+}  // namespace tess::obs

@@ -1,0 +1,163 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace tess::obs {
+
+const MetricSample* MetricsSnapshot::find(std::string_view name) const {
+  for (const auto& s : samples)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+double MetricsSnapshot::value(std::string_view name) const {
+  const auto* s = find(name);
+  return s != nullptr ? s->value : 0.0;
+}
+
+namespace {
+
+constexpr int kTagSlots = Registry::kMaxTag - Registry::kMinTag + 1;
+
+struct TagTable {
+  std::array<std::atomic<std::uint64_t>, kTagSlots> messages{};
+  std::array<std::atomic<std::uint64_t>, kTagSlots> bytes{};
+};
+
+}  // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // std::less<> enables string_view lookups; node stability keeps the
+  // references handed to call-site statics valid forever.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<ExpHistogram>, std::less<>> histograms;
+  TagTable tags;
+};
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  auto& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto it = im.counters.find(name);
+  if (it == im.counters.end())
+    it = im.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  auto& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto it = im.gauges.find(name);
+  if (it == im.gauges.end())
+    it = im.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+ExpHistogram& Registry::histogram(std::string_view name) {
+  auto& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  auto it = im.histograms.find(name);
+  if (it == im.histograms.end())
+    it = im.histograms
+             .emplace(std::string(name), std::make_unique<ExpHistogram>())
+             .first;
+  return *it->second;
+}
+
+void Registry::add_tagged_message(int tag, std::uint64_t bytes) {
+  const int clamped = std::clamp(tag, kMinTag, kMaxTag);
+  const auto slot = static_cast<std::size_t>(clamped - kMinTag);
+  auto& t = impl().tags;
+  t.messages[slot].fetch_add(1, std::memory_order_relaxed);
+  t.bytes[slot].fetch_add(bytes, std::memory_order_relaxed);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  auto& im = impl();
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(im.mutex);
+
+  for (const auto& [name, c] : im.counters) {
+    MetricSample s;
+    s.name = name;
+    s.kind = 'c';
+    s.value = static_cast<double>(c->value());
+    for (int rank = -1; rank < kMaxTrackedRanks; ++rank) {
+      const auto v = c->value(rank);
+      if (v != 0) s.per_rank.emplace_back(rank, static_cast<double>(v));
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : im.gauges) {
+    MetricSample s;
+    s.name = name;
+    s.kind = 'g';
+    s.value = g->value();
+    for (int rank = -1; rank < kMaxTrackedRanks; ++rank)
+      if (g->written(rank)) s.per_rank.emplace_back(rank, g->value(rank));
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : im.histograms) {
+    MetricSample s;
+    s.name = name;
+    s.kind = 'h';
+    s.value = static_cast<double>(h->count());
+    s.sum = static_cast<double>(h->sum());
+    for (int k = 0; k < ExpHistogram::kBins; ++k) {
+      const auto n = h->bin_count(k);
+      if (n != 0) s.bins.emplace_back(ExpHistogram::bin_floor(k), n);
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  for (int slot = 0; slot < kTagSlots; ++slot) {
+    const auto msgs = im.tags.messages[static_cast<std::size_t>(slot)].load(
+        std::memory_order_relaxed);
+    if (msgs == 0) continue;
+    const int tag = kMinTag + slot;
+    MetricSample m;
+    m.kind = 'c';
+    m.name = "comm.tag" + std::to_string(tag) + ".messages";
+    m.value = static_cast<double>(msgs);
+    snap.samples.push_back(std::move(m));
+    MetricSample b;
+    b.kind = 'c';
+    b.name = "comm.tag" + std::to_string(tag) + ".bytes";
+    b.value = static_cast<double>(
+        im.tags.bytes[static_cast<std::size_t>(slot)].load(
+            std::memory_order_relaxed));
+    snap.samples.push_back(std::move(b));
+  }
+
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void Registry::reset() {
+  auto& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+  for (auto& m : im.tags.messages) m.store(0, std::memory_order_relaxed);
+  for (auto& b : im.tags.bytes) b.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace tess::obs

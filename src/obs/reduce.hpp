@@ -1,0 +1,106 @@
+// Rank-0 reduction of the observability layer at a barrier (header-only so
+// tess_obs itself does not depend on tess_comm).
+//
+// Although the threaded comm runtime shares one process — every rank could
+// read the whole registry directly — the reduction is written with genuine
+// communication structure (each rank sends only its own slice) so it ports
+// unchanged to a real distributed runtime and exercises the same message
+// pattern the paper's MPI reductions would.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tess::obs {
+
+/// Merge every rank's metric slices to rank 0. Collective; ranks != 0
+/// return an empty snapshot. Each rank serializes its own slice
+/// ("kind\tname\tvalue" lines) and rank 0 sums them by name, so the
+/// result equals Registry::snapshot() totals restricted to ranked
+/// updates — plus rank 0's own unranked slice.
+inline MetricsSnapshot reduce_metrics(comm::Comm& comm) {
+  const MetricsSnapshot mine = metrics().snapshot();
+  const int me = comm.rank();
+
+  std::string slice;
+  for (const auto& s : mine.samples) {
+    double v = 0.0;
+    bool have = false;
+    for (const auto& [rank, value] : s.per_rank) {
+      if (rank == me || (me == 0 && rank == -1)) {
+        v += value;
+        have = true;
+      }
+    }
+    // Histograms and per-tag counters carry no per-rank slices; rank 0
+    // contributes the global value so they survive the reduction.
+    if (s.per_rank.empty() && me == 0 && s.value != 0.0) {
+      v = s.value;
+      have = true;
+    }
+    if (!have) continue;
+    slice += s.kind;
+    slice += '\t';
+    slice += s.name;
+    slice += '\t';
+    slice += std::to_string(v);
+    slice += '\n';
+  }
+
+  std::vector<char> bytes(slice.begin(), slice.end());
+  const auto gathered = comm.gatherv(bytes, 0);
+  MetricsSnapshot out;
+  if (me != 0) return out;
+
+  const std::string text(gathered.begin(), gathered.end());
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, eol == std::string::npos ? eol : eol - pos);
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    const std::size_t t1 = line.find('\t');
+    const std::size_t t2 = line.find('\t', t1 + 1);
+    if (t1 == std::string::npos || t2 == std::string::npos) continue;
+    const char kind = line[0];
+    const std::string name = line.substr(t1 + 1, t2 - t1 - 1);
+    const double v = std::stod(line.substr(t2 + 1));
+    MetricSample* sample = nullptr;
+    for (auto& s : out.samples)
+      if (s.name == name) sample = &s;
+    if (sample == nullptr) {
+      out.samples.push_back({name, kind, 0.0, 0.0, {}, {}});
+      sample = &out.samples.back();
+    }
+    // Counters/histogram counts sum across ranks; gauges reduce with max.
+    if (kind == 'g')
+      sample->value = sample->value > v ? sample->value : v;
+    else
+      sample->value += v;
+  }
+  std::sort(out.samples.begin(), out.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+/// Rank 0 drains every span lane once all ranks have reached the barrier
+/// (so no rank is mid-phase and the dump is a consistent cut). Collective;
+/// ranks != 0 return an empty dump. With `reset` the tracer starts the
+/// next accumulation window empty.
+inline TraceDump collect_trace(comm::Comm& comm, bool reset = false) {
+  comm.barrier();
+  TraceDump dump;
+  if (comm.rank() == 0) dump = Tracer::instance().drain(reset);
+  comm.barrier();
+  return dump;
+}
+
+}  // namespace tess::obs

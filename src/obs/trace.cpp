@@ -1,0 +1,147 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace tess::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One thread's span ring. Pushes come only from the owning thread; the
+/// release store on count_ publishes each record, so a concurrent drain
+/// sees fully written records for every index below the count it loads.
+/// (A drain racing a wrap-around may read a record being overwritten —
+/// tolerated for tracing; exact dumps drain at quiescent points.)
+class ThreadBuffer {
+ public:
+  ThreadBuffer(std::size_t cap, int rank, int lane)
+      : ring_(cap > 0 ? cap : 1), rank_(rank), lane_(lane) {}
+
+  void push(const char* name, std::uint64_t t0, std::uint64_t t1,
+            std::uint32_t depth) {
+    const std::uint64_t c = count_.load(std::memory_order_relaxed);
+    ring_[static_cast<std::size_t>(c % ring_.size())] = {name, t0, t1, depth};
+    count_.store(c + 1, std::memory_order_release);
+  }
+
+  void set_rank(int rank) { rank_.store(rank, std::memory_order_relaxed); }
+
+  Lane snapshot(bool reset) {
+    Lane lane;
+    lane.rank = rank_.load(std::memory_order_relaxed);
+    lane.lane = lane_;
+    const std::uint64_t c = count_.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring_.size();
+    const std::uint64_t n = c < cap ? c : cap;
+    lane.dropped = c - n;
+    lane.spans.reserve(static_cast<std::size_t>(n));
+    // Oldest surviving record first: the ring holds pushes [c-n, c).
+    for (std::uint64_t k = c - n; k < c; ++k)
+      lane.spans.push_back(ring_[static_cast<std::size_t>(k % cap)]);
+    if (reset) count_.store(0, std::memory_order_release);
+    return lane;
+  }
+
+  std::uint32_t depth = 0;  ///< owner-thread span nesting counter
+
+ private:
+  std::vector<SpanRecord> ring_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<int> rank_;
+  int lane_;
+};
+
+struct TracerState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::atomic<std::size_t> capacity{8192};
+  int next_lane = 0;
+};
+
+TracerState& state() {
+  static TracerState s;
+  return s;
+}
+
+// Epoch captured at first use so early spans stay near t=0.
+const std::uint64_t g_epoch = steady_ns();
+
+thread_local int t_rank = -1;
+// shared_ptr: the registry keeps the buffer alive for draining after the
+// thread exits; use_count()==1 there marks the buffer as dead.
+thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+
+ThreadBuffer& local_buffer() {
+  if (!t_buffer) {
+    auto& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    t_buffer = std::make_shared<ThreadBuffer>(
+        s.capacity.load(std::memory_order_relaxed), t_rank, s.next_lane++);
+    s.buffers.push_back(t_buffer);
+  }
+  return *t_buffer;
+}
+
+}  // namespace
+
+std::uint64_t now_ns() { return steady_ns() - g_epoch; }
+
+void set_thread_rank(int rank) {
+  t_rank = rank;
+  if (t_buffer) t_buffer->set_rank(rank);
+}
+
+int thread_rank() { return t_rank; }
+
+namespace detail {
+
+std::uint64_t span_enter() {
+  ++local_buffer().depth;
+  return now_ns();
+}
+
+void span_exit(const char* name, std::uint64_t t0) {
+  ThreadBuffer& b = local_buffer();
+  const std::uint32_t d = --b.depth;
+  b.push(name, t0, now_ns(), d);
+}
+
+}  // namespace detail
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::set_capacity(std::size_t spans_per_thread) {
+  state().capacity.store(spans_per_thread > 0 ? spans_per_thread : 1,
+                         std::memory_order_relaxed);
+}
+
+std::size_t Tracer::capacity() const {
+  return state().capacity.load(std::memory_order_relaxed);
+}
+
+TraceDump Tracer::drain(bool reset) {
+  TraceDump dump;
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  dump.lanes.reserve(s.buffers.size());
+  for (auto& buf : s.buffers) dump.lanes.push_back(buf->snapshot(reset));
+  if (reset) {
+    std::erase_if(s.buffers, [](const std::shared_ptr<ThreadBuffer>& b) {
+      return b.use_count() == 1;  // owning thread exited; nothing left to drain
+    });
+  }
+  return dump;
+}
+
+}  // namespace tess::obs

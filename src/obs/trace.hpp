@@ -1,0 +1,144 @@
+// Hierarchical scoped-span tracer — the timing half of the observability
+// layer (see DESIGN.md §4.7).
+//
+// A span is a named wall-clock interval opened by TESS_SPAN("phase") and
+// closed when the enclosing scope exits. Completed spans are recorded into
+// a per-thread ring buffer tagged with the thread's rank (ranks execute as
+// threads, see comm/comm.hpp; pool workers inherit the rank of the rank
+// thread that owns the pool), so a drained trace has one lane per
+// rank×thread — exactly the per-phase/per-thread breakdown PARAVT and the
+// multithreaded VORO++ extension base their scaling claims on.
+//
+// Cost model:
+//  * compiled out (TESS_OBS_ENABLED=0): TESS_SPAN expands to nothing;
+//  * runtime-disabled (the default): one relaxed atomic load per span,
+//    no allocation, no clock read;
+//  * enabled: two steady_clock reads and one ring-buffer store per span.
+// The ring buffer overwrites its oldest entries when full (the drop count
+// is reported per lane), so tracing never allocates on the hot path and
+// can stay on in situ.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#ifndef TESS_OBS_ENABLED
+#define TESS_OBS_ENABLED 1
+#endif
+
+namespace tess::obs {
+
+/// Nanoseconds since the process-wide trace epoch (steady clock).
+[[nodiscard]] std::uint64_t now_ns();
+
+/// Tag the calling thread with a rank for span-lane and metric-slot
+/// attribution. Rank threads are tagged by comm::Runtime; pool workers
+/// inherit the rank of the thread that constructed the pool. -1 = none.
+void set_thread_rank(int rank);
+[[nodiscard]] int thread_rank();
+
+/// One completed span. `name` must be a string literal (interned pointer).
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t t0_ns = 0;
+  std::uint64_t t1_ns = 0;
+  std::uint32_t depth = 0;  ///< nesting depth within the thread (0 = root)
+};
+
+/// Drained view of one thread's ring buffer: the lane of one rank×thread.
+struct Lane {
+  int rank = -1;             ///< rank tag at drain time (-1 = unranked)
+  int lane = 0;              ///< process-unique thread ordinal
+  std::uint64_t dropped = 0; ///< spans overwritten by ring wrap-around
+  std::vector<SpanRecord> spans;  ///< chronological by span end
+};
+
+struct TraceDump {
+  std::vector<Lane> lanes;
+  [[nodiscard]] std::size_t total_spans() const {
+    std::size_t n = 0;
+    for (const auto& l : lanes) n += l.spans.size();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_dropped() const {
+    std::uint64_t n = 0;
+    for (const auto& l : lanes) n += l.dropped;
+    return n;
+  }
+};
+
+namespace detail {
+/// Bump the calling thread's span depth and return the start timestamp.
+std::uint64_t span_enter();
+/// Pop the depth and record the completed span in the thread's ring.
+void span_exit(const char* name, std::uint64_t t0);
+}  // namespace detail
+
+/// Process-global tracer: owns the runtime on/off flag and the registry of
+/// per-thread ring buffers. Buffers are created lazily on a thread's first
+/// recorded span and persist (for draining) after the thread exits; a
+/// drain with reset releases buffers whose threads are gone.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Ring capacity (spans per thread) for buffers created after the call;
+  /// existing buffers keep their size. Default 8192.
+  void set_capacity(std::size_t spans_per_thread);
+  [[nodiscard]] std::size_t capacity() const;
+
+  /// Snapshot every lane. With `reset`, counts are zeroed and buffers of
+  /// exited threads are released. Safe to call while other threads trace
+  /// (their in-flight spans land in the next drain); for exact dumps call
+  /// at a quiescent point, e.g. after a comm barrier (obs/reduce.hpp).
+  TraceDump drain(bool reset = true);
+
+  /// Discard all recorded spans.
+  void clear() { (void)drain(true); }
+
+ private:
+  Tracer() = default;
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII scope guard recording one span; prefer the TESS_SPAN macro, which
+/// compiles out with the instrumentation.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (Tracer::instance().enabled()) {
+      name_ = name;
+      t0_ = detail::span_enter();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) detail::span_exit(name_, t0_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t t0_ = 0;
+};
+
+#define TESS_OBS_CONCAT2(a, b) a##b
+#define TESS_OBS_CONCAT(a, b) TESS_OBS_CONCAT2(a, b)
+
+#if TESS_OBS_ENABLED
+/// Open a span covering the rest of the enclosing scope. `name` must be a
+/// string literal (or a select between literals).
+#define TESS_SPAN(name) \
+  ::tess::obs::Span TESS_OBS_CONCAT(tess_obs_span_, __LINE__){name}
+#else
+#define TESS_SPAN(name) static_cast<void>(0)
+#endif
+
+}  // namespace tess::obs

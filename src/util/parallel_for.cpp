@@ -1,5 +1,7 @@
 #include "util/parallel_for.hpp"
 
+#include "obs/trace.hpp"
+
 namespace tess::util {
 
 int ThreadPool::resolve(int requested) {
@@ -10,9 +12,16 @@ int ThreadPool::resolve(int requested) {
 
 ThreadPool::ThreadPool(int threads) {
   const int total = resolve(threads);
+  // Workers inherit the constructing thread's rank tag, so spans and
+  // metrics recorded inside parallel_for attribute to the rank that owns
+  // the pool (one pool per rank, see the header comment).
+  const int rank = obs::thread_rank();
   workers_.reserve(static_cast<std::size_t>(total - 1));
   for (int w = 1; w < total; ++w)
-    workers_.emplace_back([this, w] { worker_loop(w); });
+    workers_.emplace_back([this, w, rank] {
+      obs::set_thread_rank(rank);
+      worker_loop(w);
+    });
 }
 
 ThreadPool::~ThreadPool() {

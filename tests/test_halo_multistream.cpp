@@ -6,9 +6,9 @@
 
 #include "analysis/halo_finder.hpp"
 #include "analysis/multistream.hpp"
+#include "comm/comm.hpp"
 #include "hacc/initial_conditions.hpp"
 #include "hacc/simulation.hpp"
-#include "comm/comm.hpp"
 #include "util/rng.hpp"
 
 using tess::analysis::FofOptions;
