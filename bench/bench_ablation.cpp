@@ -13,6 +13,7 @@
 using namespace tess;
 
 int main() {
+  tess::bench::obs_begin_from_env();
   std::printf("== Ablation studies ==\n\n");
 
   hacc::SimConfig sim;
@@ -77,5 +78,6 @@ int main() {
   std::printf("expected: early culling reduces Voronoi time at identical output;\n"
               "the hull pass adds measurable cost with identical cells; larger\n"
               "ghosts exchange more particles but eliminate incomplete cells\n");
+  tess::bench::obs_export_from_env();
   return 0;
 }

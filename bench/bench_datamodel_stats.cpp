@@ -34,6 +34,7 @@ MeshBytes serialized_bytes(const std::vector<core::BlockMesh>& meshes) {
 }  // namespace
 
 int main() {
+  tess::bench::obs_begin_from_env();
   std::printf("== Data model statistics (paper section III-C2) ==\n\n");
 
   hacc::SimConfig sim;
@@ -86,5 +87,6 @@ int main() {
               small.total / nparticles);
   std::printf("checkpoint (positions only): %.0f bytes/particle (paper: 40)\n",
               32.0);  // Vec3 + id = 32 bytes in this implementation
+  tess::bench::obs_export_from_env();
   return 0;
 }

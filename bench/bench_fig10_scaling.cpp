@@ -7,10 +7,21 @@
 // the scaling metric is the per-rank critical path (max across ranks of
 // exchange + Voronoi + output), which models distributed wall clock; the
 // serialized wall time is also printed for reference.
+//
+// Observability: this bench always records (prefix BENCH_fig10, overridable
+// via TESS_OBS_EXPORT) and emits a per-rank load-imbalance report for the
+// largest strong-scaling run — <prefix>.imbalance.md / .tsv — naming the
+// slowest rank per phase (obs/analyze.hpp). TESS_BENCH_SMALL=1 shrinks the
+// problem to the CI smoke configuration whose summary is diffed against the
+// committed BENCH_fig10.json baseline by tools/obs_compare.
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
+#include "obs/obs.hpp"
 #include "util/table.hpp"
 
 using namespace tess;
@@ -31,20 +42,42 @@ bench::InSituResult tessellate_snapshot(int ranks,
 }  // namespace
 
 int main() {
-  std::printf("== Figure 10: strong and weak scaling of tessellation time ==\n\n");
+  const char* small_env = std::getenv("TESS_BENCH_SMALL");
+  const bool small = small_env != nullptr && *small_env != '\0' &&
+                     *small_env != '0';
+  const std::string prefix = bench::obs_begin("BENCH_fig10");
 
-  // ---- Strong scaling: fixed 32^3 problem, rank count doubles. ----
+  std::printf("== Figure 10: strong and weak scaling of tessellation time ==%s\n\n",
+              small ? " [small/CI config]" : "");
+
+  // ---- Strong scaling: fixed problem, rank count doubles. ----
   hacc::SimConfig sim;
-  sim.np = sim.ng = 32;
-  sim.nsteps = 50;
+  sim.np = sim.ng = small ? 16 : 32;
+  sim.nsteps = small ? 10 : 50;
   sim.seed = 99;
   const auto snapshot = bench::evolve_snapshot(sim, sim.nsteps);
+  const std::vector<int> strong_ranks =
+      small ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
 
   util::Table strong({"Ranks", "Tess(s,critical)", "Tess(s,wall)", "Speedup",
                       "Efficiency%"});
   double t1 = 0.0;
-  for (int ranks : {1, 2, 4, 8}) {
+  std::string imbalance_md;
+  for (const int ranks : strong_ranks) {
+    const bool widest = ranks == strong_ranks.back();
+    // The imbalance report should cover exactly the widest run: start it
+    // from a clean trace and snapshot (without reset) right after, so the
+    // final export still contains this run plus the weak-scaling runs.
+    if (widest) obs::Tracer::instance().clear();
     const auto r = tessellate_snapshot(ranks, snapshot, sim.box(), 1.0);
+    if (widest) {
+      const auto dump = obs::Tracer::instance().drain(false);
+      const auto report = obs::analyze_imbalance(dump);
+      imbalance_md = obs::imbalance_markdown(report);
+      obs::write_text_file(prefix + ".imbalance.md", imbalance_md);
+      obs::write_text_file(prefix + ".imbalance.tsv",
+                           obs::imbalance_tsv(report));
+    }
     const double t = r.tess_critical_path();
     if (ranks == 1) t1 = t;
     const double speedup = t1 / t;
@@ -53,23 +86,26 @@ int main() {
                     util::Table::cell(speedup, 2),
                     util::Table::cell(100.0 * speedup / ranks, 1)});
   }
-  std::printf("Strong scaling (np=32^3, includes write):\n%s\n",
+  std::printf("Strong scaling (np=%d^3, includes write):\n%s\n", sim.np,
               strong.render().c_str());
 
-  // ---- Weak scaling: ~4096 particles per rank. ----
+  // ---- Weak scaling: fixed particle count per rank. ----
   util::Table weak({"Ranks", "Particles", "Tess(s,critical)", "us/particle",
                     "Efficiency%"});
-  const int np_per_rank[] = {16, 20, 26, 32};  // np^3/ranks ~ 4096 each
-  const int rank_counts[] = {1, 2, 4, 8};
+  // np^3/ranks ~ 4096 each (full) / ~1024 each (small).
+  const std::vector<int> np_per_rank =
+      small ? std::vector<int>{10, 13, 16} : std::vector<int>{16, 20, 26, 32};
+  const std::vector<int> rank_counts =
+      small ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
   double us1 = 0.0;
-  for (int i = 0; i < 4; ++i) {
+  for (std::size_t i = 0; i < rank_counts.size(); ++i) {
     hacc::SimConfig wsim;
     wsim.np = np_per_rank[i];
     // Mesh: next power of two >= np.
     int ng = 1;
     while (ng < wsim.np) ng *= 2;
     wsim.ng = ng;
-    wsim.nsteps = 30;
+    wsim.nsteps = small ? 10 : 30;
     wsim.seed = 99;
     const auto snap = bench::evolve_snapshot(wsim, wsim.nsteps);
     const double spacing = wsim.box() / wsim.np;
@@ -86,10 +122,16 @@ int main() {
                   util::Table::cell(us, 2),
                   util::Table::cell(100.0 * us1 / (us * rank_counts[i]), 1)});
   }
-  std::printf("Weak scaling (~4096 particles/rank, includes write):\n%s\n",
-              weak.render().c_str());
+  std::printf("Weak scaling (~%d particles/rank, includes write):\n%s\n",
+              small ? 1024 : 4096, weak.render().c_str());
   std::printf("paper reference: strong scaling efficiency 30-41%%, weak scaling\n"
               "efficiency ~86%%; the serial Voronoi computation dominates and\n"
-              "scales well, I/O begins to wane at the largest configurations\n");
+              "scales well, I/O begins to wane at the largest configurations\n\n");
+
+  std::printf("%s\n", imbalance_md.c_str());
+  bench::obs_export(prefix);
+  std::printf("observability: %s.summary.{json,tsv}, %s.trace.json, "
+              "%s.imbalance.{md,tsv}\n",
+              prefix.c_str(), prefix.c_str(), prefix.c_str());
   return 0;
 }

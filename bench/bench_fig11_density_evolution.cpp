@@ -14,6 +14,7 @@
 using namespace tess;
 
 int main() {
+  tess::bench::obs_begin_from_env();
   std::printf("== Figure 11: time evolution of cell density contrast (np=32^3) ==\n\n");
 
   hacc::SimConfig sim;
@@ -49,5 +50,6 @@ int main() {
   std::printf("paper reference at t=11/21/31: range [-0.77,0.59] -> [-0.77,2.4] ->\n"
               "[-0.72,15]; skewness 1.6 -> 2 -> 4.5; kurtosis 4.1 -> 5.5 -> 23.\n"
               "Expected shape: range, skewness, kurtosis all grow monotonically.\n");
+  tess::bench::obs_export_from_env();
   return 0;
 }

@@ -17,6 +17,7 @@
 using namespace tess;
 
 int main() {
+  tess::bench::obs_begin_from_env();
   hacc::SimConfig sim;
   sim.np = 32;
   sim.ng = 64;          // force mesh at 2x the particle resolution
@@ -56,5 +57,6 @@ int main() {
               hist.moments().kurtosis());
   std::printf("fraction in smallest 10%% of range: %.1f%%   (paper: ~75%%)\n",
               100.0 * hist.fraction_below(0.1));
+  tess::bench::obs_export_from_env();
   return 0;
 }

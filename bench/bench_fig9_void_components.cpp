@@ -18,6 +18,7 @@
 using namespace tess;
 
 int main() {
+  tess::bench::obs_begin_from_env();
   hacc::SimConfig sim;
   sim.np = 32;
   sim.ng = 64;
@@ -93,5 +94,6 @@ int main() {
               mink.render().c_str());
   std::printf("paper shape: higher thresholds reduce kept cells sharply while the\n"
               "survivors coalesce into a handful (~7-10) of irregular voids\n");
+  tess::bench::obs_export_from_env();
   return 0;
 }

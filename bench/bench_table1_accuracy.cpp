@@ -27,6 +27,7 @@ std::map<std::int64_t, double> cell_volumes(const std::vector<core::BlockMesh>& 
 }  // namespace
 
 int main() {
+  tess::bench::obs_begin_from_env();
   const int np = 32;
   const int steps = 100;
   std::printf("== Table I: parallel accuracy (np=%d^3, %d simulation steps) ==\n",
@@ -73,5 +74,6 @@ int main() {
   std::printf("%s\n", table.render().c_str());
   std::printf("paper reference (64^3): ghost 0 -> 91-96%%, ghost 1 -> 98.5-99.6%%,\n"
               "ghost 2 -> 99.9%%, ghost 3 -> ~100%%, ghost 4 -> 100%% at all block counts\n");
+  tess::bench::obs_export_from_env();
   return 0;
 }

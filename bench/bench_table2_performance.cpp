@@ -44,9 +44,8 @@ int main() {
   // This bench always produces a machine-readable companion to the table:
   // per-phase span totals plus every registered metric, to
   // BENCH_table2.summary.{json,tsv} (prefix overridable via TESS_OBS_EXPORT).
-  tess::obs::Tracer::instance().set_enabled(true);
-  tess::obs::Tracer::instance().clear();
-  tess::obs::metrics().reset();
+  // obs_begin also arms the flight recorder, so a hang dumps diagnostics.
+  const std::string prefix = tess::bench::obs_begin("BENCH_table2");
 
   util::Table table({"Particles", "Steps", "Ranks", "Total(s)", "Sim(s)",
                      "TessTotal(s)", "Exchange(s)", "Voronoi(s)", "Output(s)",
@@ -100,8 +99,6 @@ int main() {
               "negligible; the serial Voronoi computation dominates tessellation\n"
               "time but shrinks with rank count; output grows with problem size\n");
 
-  const char* prefix_env = std::getenv("TESS_OBS_EXPORT");
-  const std::string prefix = prefix_env && *prefix_env ? prefix_env : "BENCH_table2";
   bench::obs_export(prefix);
   std::printf("observability summary written to %s.summary.{json,tsv} "
               "(trace: %s.trace.json)\n", prefix.c_str(), prefix.c_str());

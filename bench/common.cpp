@@ -16,10 +16,25 @@ const char* obs_export_prefix() { return std::getenv("TESS_OBS_EXPORT"); }
 bool obs_begin_from_env() {
   const char* prefix = obs_export_prefix();
   if (prefix == nullptr || *prefix == '\0') return false;
+  obs_begin(prefix);
+  return true;
+}
+
+std::string obs_begin(const std::string& default_prefix) {
   obs::Tracer::instance().set_enabled(true);
   obs::Tracer::instance().clear();
   obs::metrics().reset();
-  return true;
+  const char* env = obs_export_prefix();
+  const std::string prefix =
+      env != nullptr && *env != '\0' ? env : default_prefix;
+  obs::FlightConfig flight;
+  flight.path_prefix = prefix;
+  flight.stall_ms = 60000;
+  if (const char* stall = std::getenv("TESS_FLIGHT_STALL_MS"))
+    if (const long v = std::atol(stall); v > 0)
+      flight.stall_ms = static_cast<std::uint64_t>(v);
+  obs::FlightRecorder::instance().arm(std::move(flight));
+  return prefix;
 }
 
 void obs_export_from_env() {

@@ -72,6 +72,14 @@ std::vector<diy::Particle> evolve_snapshot(const hacc::SimConfig& cfg, int steps
 /// No-op when the variable is unset.
 bool obs_begin_from_env();
 
+/// Start recording unconditionally: tracer on (fresh trace, zeroed
+/// metrics) and the flight recorder armed so a hung or crashed bench run
+/// leaves a dump. Dumps and exports go to TESS_OBS_EXPORT when set, else
+/// `default_prefix`; TESS_FLIGHT_STALL_MS overrides the watchdog threshold
+/// (default 60 s — benches have long legitimately-quiet serial stretches).
+/// Returns the resolved prefix.
+std::string obs_begin(const std::string& default_prefix);
+
 /// Write <prefix>.trace.json (chrome://tracing, one lane per rank x thread),
 /// <prefix>.summary.json, and <prefix>.summary.tsv for everything recorded
 /// since obs_begin_from_env(). No-op when TESS_OBS_EXPORT is unset.

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "comm/context.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace tess::comm {
@@ -32,6 +33,7 @@ class Comm {
   /// Raw byte send; completes locally (buffered, like MPI_Bsend).
   void send_bytes(int dest, int tag, const void* data, std::size_t bytes) {
     check_rank(dest);
+    TESS_HEARTBEAT();
     Message msg;
     msg.source = rank_;
     msg.tag = tag;

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tess::comm {
 
 void Mailbox::push(Message msg) {
@@ -13,18 +17,29 @@ void Mailbox::push(Message msg) {
 }
 
 Message Mailbox::pop(int source, int tag) {
+  // Heartbeat at entry only — not per wakeup — so a rank stuck in a recv
+  // that never matches stops beating and the flight recorder can name it.
+  TESS_HEARTBEAT();
   std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
-    auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Message& m) {
-      return m.source == source && m.tag == tag;
-    });
-    if (it != queue_.end()) {
-      Message msg = std::move(*it);
-      queue_.erase(it);
-      return msg;
-    }
-    cv_.wait(lock);
+  TESS_GAUGE_SET("comm.mailbox.depth", queue_.size());
+  const auto match = [&](const Message& m) {
+    return m.source == source && m.tag == tag;
+  };
+  auto it = std::find_if(queue_.begin(), queue_.end(), match);
+  if (it == queue_.end()) {
+    // The message is not here yet: everything from now until it arrives is
+    // attributable wait, recorded as a span the imbalance analyzer folds
+    // into the enclosing phase (see obs/analyze.hpp).
+    TESS_COUNT("comm.recv.blocked", 1);
+    TESS_SPAN("comm.recv.wait");
+    do {
+      cv_.wait(lock);
+      it = std::find_if(queue_.begin(), queue_.end(), match);
+    } while (it == queue_.end());
   }
+  Message msg = std::move(*it);
+  queue_.erase(it);
+  return msg;
 }
 
 bool Mailbox::probe(int source, int tag) {
@@ -37,6 +52,8 @@ bool Mailbox::probe(int source, int tag) {
 Context::Context(int size) : size_(size), mailboxes_(static_cast<std::size_t>(size)) {}
 
 void Context::barrier() {
+  TESS_HEARTBEAT();
+  TESS_COUNT("comm.barriers", 1);
   std::unique_lock<std::mutex> lock(barrier_mutex_);
   const std::uint64_t phase = barrier_phase_;
   if (++barrier_count_ == size_) {
@@ -44,6 +61,11 @@ void Context::barrier() {
     ++barrier_phase_;
     barrier_cv_.notify_all();
   } else {
+    // Ranks arriving early charge the wait to themselves: the analyzer's
+    // barrier-wait attribution is exactly these spans, and the gauge shows
+    // how deep the convoy was when each waiter parked.
+    TESS_GAUGE_SET("comm.barrier.waiting", barrier_count_);
+    TESS_SPAN("comm.barrier.wait");
     barrier_cv_.wait(lock, [&] { return barrier_phase_ != phase; });
   }
 }

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "comm/comm.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace tess::comm {
@@ -17,15 +18,20 @@ void Runtime::run(int nranks, const std::function<void(Comm&)>& fn) {
   if (nranks == 1) {
     // Single-rank runs execute on the caller's thread: tag it as rank 0
     // for span-lane/metric attribution and restore the old tag after.
+    // Heartbeats bracket the rank body so the flight-recorder watchdog
+    // knows which ranks are live (retire while still tagged rank 0).
     const int prev_rank = obs::thread_rank();
     obs::set_thread_rank(0);
+    obs::heartbeat();
     Comm comm(ctx, 0);
     try {
       fn(comm);
     } catch (...) {
+      obs::heartbeat_retire();
       obs::set_thread_rank(prev_rank);
       throw;
     }
+    obs::heartbeat_retire();
     obs::set_thread_rank(prev_rank);
     return;
   }
@@ -34,14 +40,18 @@ void Runtime::run(int nranks, const std::function<void(Comm&)>& fn) {
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+      obs::set_thread_rank(r);
+      obs::heartbeat();
       try {
-        obs::set_thread_rank(r);
         Comm comm(ctx, r);
         fn(comm);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
+      // A rank that exited (cleanly or by exception) is not hung: leave
+      // the watchdog's active set instead of aging forever.
+      obs::heartbeat_retire();
     });
   }
   for (auto& t : threads) t.join();

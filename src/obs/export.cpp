@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -224,6 +225,181 @@ std::vector<SummaryRow> parse_summary_tsv(const std::string& text) {
     row.max = std::stod(max);
     rows.push_back(std::move(row));
   }
+  return rows;
+}
+
+namespace {
+
+/// Minimal recursive-descent JSON reader — just enough for the summary
+/// schema (objects, strings, numbers, and skippable nested values).
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  /// Parse `{ "key": <value>, ... }`, calling on_key(key) positioned at
+  /// each value; the callback must consume exactly that value.
+  template <class F>
+  void object(F&& on_key) {
+    expect('{');
+    ws();
+    if (eat('}')) return;
+    while (true) {
+      const std::string key = string();
+      expect(':');
+      on_key(key);
+      ws();
+      if (eat(',')) {
+        ws();
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (p_ < end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c == '\\' && p_ < end_) {
+        c = *p_++;
+        switch (c) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            // Summary names are ASCII; decode the low byte, else '?'.
+            if (end_ - p_ < 4) fail("truncated \\u escape");
+            const unsigned v = static_cast<unsigned>(
+                std::strtoul(std::string(p_, p_ + 4).c_str(), nullptr, 16));
+            p_ += 4;
+            c = v < 0x80 ? static_cast<char>(v) : '?';
+            break;
+          }
+          default: break;  // \" \\ \/ decode to themselves
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  double number() {
+    ws();
+    char* after = nullptr;
+    const double v = std::strtod(p_, &after);
+    if (after == p_) fail("expected number");
+    p_ = after;
+    return v;
+  }
+
+  void skip_value() {
+    ws();
+    if (p_ >= end_) fail("unexpected end of input");
+    switch (*p_) {
+      case '{':
+        object([this](const std::string&) { skip_value(); });
+        break;
+      case '[': {
+        ++p_;
+        ws();
+        if (eat(']')) return;
+        while (true) {
+          skip_value();
+          ws();
+          if (eat(',')) continue;
+          expect(']');
+          return;
+        }
+      }
+      case '"': (void)string(); break;
+      case 't': literal("true"); break;
+      case 'f': literal("false"); break;
+      case 'n': literal("null"); break;
+      default: (void)number();
+    }
+  }
+
+ private:
+  void ws() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\n' || *p_ == '\t' ||
+                         *p_ == '\r'))
+      ++p_;
+  }
+  bool eat(char c) {
+    ws();
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+  void expect(char c) {
+    if (!eat(c)) fail("unexpected token");
+  }
+  void literal(const char* word) {
+    for (const char* w = word; *w != '\0'; ++w)
+      if (p_ >= end_ || *p_++ != *w) fail("bad literal");
+  }
+  [[noreturn]] void fail(const char* what) {
+    throw std::runtime_error(std::string("parse_summary_json: ") + what);
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+std::vector<SummaryRow> parse_summary_json(const std::string& text) {
+  std::vector<SummaryRow> rows;
+  JsonReader in(text);
+  in.object([&](const std::string& section) {
+    if (section != "spans" && section != "counters" && section != "gauges" &&
+        section != "histograms") {
+      in.skip_value();
+      return;
+    }
+    const std::string kind = section.substr(0, section.size() - 1);
+    in.object([&](const std::string& name) {
+      double count = 0, total_s = 0, min_s = 0, max_s = 0;
+      double total = 0, value = 0, sum = 0;
+      in.object([&](const std::string& field) {
+        if (field == "count") count = in.number();
+        else if (field == "total_s") total_s = in.number();
+        else if (field == "min_s") min_s = in.number();
+        else if (field == "max_s") max_s = in.number();
+        else if (field == "total") total = in.number();
+        else if (field == "value") value = in.number();
+        else if (field == "sum") sum = in.number();
+        else in.skip_value();
+      });
+      SummaryRow row;
+      row.kind = kind;
+      row.name = name;
+      if (kind == "span") {
+        row.count = count;
+        row.total = total_s;
+        row.min = min_s;
+        row.max = max_s;
+      } else if (kind == "counter") {
+        row.count = 1;
+        row.total = total;
+      } else if (kind == "gauge") {
+        row.count = 1;
+        row.total = value;
+      } else {  // histogram
+        row.count = count;
+        row.total = sum;
+      }
+      rows.push_back(std::move(row));
+    });
+  });
   return rows;
 }
 

@@ -60,6 +60,14 @@ struct SummaryRow {
 [[nodiscard]] std::vector<SummaryRow> parse_summary_tsv(
     const std::string& text);
 
+/// Parse summary_json output into the same rows parse_summary_tsv yields
+/// (spans keep count/total/min/max; counters and gauges surface their value
+/// as `total`; histograms surface sample count as `count` and sample sum as
+/// `total`). Minimal parser for the summary schema — unknown keys are
+/// skipped, malformed JSON throws.
+[[nodiscard]] std::vector<SummaryRow> parse_summary_json(
+    const std::string& text);
+
 void write_text_file(const std::string& path, const std::string& text);
 
 inline void write_chrome_trace(const std::string& path,

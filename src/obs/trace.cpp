@@ -34,6 +34,23 @@ class ThreadBuffer {
 
   void set_rank(int rank) { rank_.store(rank, std::memory_order_relaxed); }
 
+  /// Allocation-free read of the most recent `max_spans` records (oldest
+  /// first; negative = everything the ring holds). Safe to call from any
+  /// thread; like snapshot(), a race with an in-flight wrap-around may
+  /// observe a record being overwritten — tolerated on the crash path.
+  void peek(int max_spans,
+            void (*fn)(void*, int, int, const SpanRecord&),
+            void* ctx) const {
+    const std::uint64_t c = count_.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring_.size();
+    std::uint64_t n = c < cap ? c : cap;
+    if (max_spans >= 0 && n > static_cast<std::uint64_t>(max_spans))
+      n = static_cast<std::uint64_t>(max_spans);
+    const int r = rank_.load(std::memory_order_relaxed);
+    for (std::uint64_t k = c - n; k < c; ++k)
+      fn(ctx, r, lane_, ring_[static_cast<std::size_t>(k % cap)]);
+  }
+
   Lane snapshot(bool reset) {
     Lane lane;
     lane.rank = rank_.load(std::memory_order_relaxed);
@@ -112,6 +129,21 @@ void span_exit(const char* name, std::uint64_t t0) {
   ThreadBuffer& b = local_buffer();
   const std::uint32_t d = --b.depth;
   b.push(name, t0, now_ns(), d);
+}
+
+bool peek_lanes(int max_spans,
+                void (*fn)(void* ctx, int rank, int lane,
+                           const SpanRecord& rec),
+                void* ctx, bool try_only) {
+  auto& s = state();
+  if (try_only) {
+    if (!s.mutex.try_lock()) return false;
+  } else {
+    s.mutex.lock();
+  }
+  for (const auto& buf : s.buffers) buf->peek(max_spans, fn, ctx);
+  s.mutex.unlock();
+  return true;
 }
 
 }  // namespace detail

@@ -74,6 +74,15 @@ namespace detail {
 std::uint64_t span_enter();
 /// Pop the depth and record the completed span in the thread's ring.
 void span_exit(const char* name, std::uint64_t t0);
+/// Flight-recorder peek: invoke `fn` on the most recent `max_spans` records
+/// of every registered lane (oldest first; negative = all), without
+/// draining or allocating. With `try_only` it backs off instead of blocking
+/// when the registry lock is held — the crash-signal path — and returns
+/// false. `fn` must be allocation-free when called from a signal handler.
+bool peek_lanes(int max_spans,
+                void (*fn)(void* ctx, int rank, int lane,
+                           const SpanRecord& rec),
+                void* ctx, bool try_only);
 }  // namespace detail
 
 /// Process-global tracer: owns the runtime on/off flag and the registry of

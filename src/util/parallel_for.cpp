@@ -1,5 +1,6 @@
 #include "util/parallel_for.hpp"
 
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace tess::util {
@@ -51,6 +52,9 @@ void ThreadPool::work(Job& job, int worker) {
   for (;;) {
     const int chunk = job.next.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= job.limit) return;
+    // Workers share their rank's heartbeat slot, so a pool grinding
+    // through chunks counts as rank progress for the watchdog.
+    TESS_HEARTBEAT();
     try {
       (*job.fn)(chunk, worker);
     } catch (...) {
