@@ -8,9 +8,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "comm/comm.hpp"
+#include "comm/fault.hpp"
 #include "common.hpp"
 #include "core/standalone.hpp"
 #include "core/tessellator.hpp"
@@ -106,12 +111,48 @@ BENCHMARK(BM_AutoGhost_Incremental)->Arg(2000)->Arg(4000)->UseRealTime()->Unit(b
 // in the environment, the run also emits <prefix>.trace.json (one
 // chrome://tracing lane per rank x thread showing the exchange / build /
 // retry spans) and <prefix>.summary.{json,tsv}.
+// --fault-spec=SPEC arms the fault injector (comm/fault.hpp grammar) for
+// the whole run; --fault-seed=N seeds it (default: TESS_FAULT_SEED, else 1).
+// Both are stripped from argv before Google Benchmark sees them. With a
+// spec armed, retry/recovery counters are printed after the run (and land
+// in the obs summary export as comm.fault.* / comm.recv.* counters).
 int main(int argc, char** argv) {
+  std::string fault_spec;
+  std::uint64_t fault_seed = tess::comm::FaultInjector::env_seed(1);
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--fault-spec=", 0) == 0) {
+      fault_spec = arg.substr(13);
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      fault_seed = std::strtoull(arg.substr(13).data(), nullptr, 10);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (!fault_spec.empty()) {
+    auto plan = tess::comm::FaultPlan::parse(fault_spec, fault_seed);
+    std::fprintf(stderr, "fault plan: %s\n", plan.describe().c_str());
+    tess::comm::faults().arm(std::move(plan));
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   tess::bench::obs_begin_from_env();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (tess::comm::faults().armed()) {
+    const auto fc = tess::comm::faults().counts();
+    std::fprintf(stderr,
+                 "fault counters: dropped=%llu recovered=%llu delayed=%llu "
+                 "duplicated=%llu deduped=%llu lost=%llu\n",
+                 static_cast<unsigned long long>(fc.dropped),
+                 static_cast<unsigned long long>(fc.recovered),
+                 static_cast<unsigned long long>(fc.delayed),
+                 static_cast<unsigned long long>(fc.duplicated),
+                 static_cast<unsigned long long>(fc.dedup_dropped),
+                 static_cast<unsigned long long>(fc.lost));
+  }
   tess::bench::obs_export_from_env();
   return 0;
 }

@@ -11,13 +11,16 @@
 // ranks (one std::thread each) and joins them.
 #pragma once
 
+#include <chrono>
 #include <cstring>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <type_traits>
 #include <vector>
 
 #include "comm/context.hpp"
+#include "comm/fault.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
@@ -30,15 +33,15 @@ class Comm {
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const { return ctx_->size(); }
 
-  /// Raw byte send; completes locally (buffered, like MPI_Bsend).
+  /// Raw byte send; completes locally (buffered, like MPI_Bsend). The
+  /// payload is sequence-stamped by Context::post, and when the fault
+  /// injector is armed the message is subject to the active plan.
   void send_bytes(int dest, int tag, const void* data, std::size_t bytes) {
     check_rank(dest);
     TESS_HEARTBEAT();
-    Message msg;
-    msg.source = rank_;
-    msg.tag = tag;
-    msg.payload.resize(bytes);
-    if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+    if (faults().armed()) faults().on_op(rank_);
+    std::vector<std::byte> payload(bytes);
+    if (bytes > 0) std::memcpy(payload.data(), data, bytes);
     ctx_->add_traffic(bytes);
     TESS_COUNT("comm.messages", 1);
     TESS_COUNT("comm.bytes", bytes);
@@ -46,13 +49,24 @@ class Comm {
 #if TESS_OBS_ENABLED
     obs::metrics().add_tagged_message(tag, bytes);
 #endif
-    ctx_->mailbox(dest).push(std::move(msg));
+    ctx_->post(rank_, dest, tag, std::move(payload));
   }
 
-  /// Blocking raw receive of a message from `source` with `tag`.
+  /// Blocking raw receive of a message from `source` with `tag`. Throws
+  /// RankRetiredError if the peer exits while this rank waits.
   std::vector<std::byte> recv_bytes(int source, int tag) {
     check_rank(source);
     return ctx_->mailbox(rank_).pop(source, tag).payload;
+  }
+
+  /// Bounded-wait raw receive: nullopt after `timeout` with no matching
+  /// message (retryable), RankRetiredError if the peer is gone for good.
+  std::optional<std::vector<std::byte>> recv_bytes_for(
+      int source, int tag, std::chrono::milliseconds timeout) {
+    check_rank(source);
+    auto msg = ctx_->mailbox(rank_).pop_for(source, tag, timeout);
+    if (!msg) return std::nullopt;
+    return std::move(msg->payload);
   }
 
   template <typename T>
@@ -78,6 +92,20 @@ class Comm {
     return out;
   }
 
+  /// Bounded-wait typed receive (see recv_bytes_for).
+  template <typename T>
+  std::optional<std::vector<T>> recv_for(int source, int tag,
+                                         std::chrono::milliseconds timeout) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = recv_bytes_for(source, tag, timeout);
+    if (!bytes) return std::nullopt;
+    if (bytes->size() % sizeof(T) != 0)
+      throw std::runtime_error("comm: message size not a multiple of element size");
+    std::vector<T> out(bytes->size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), bytes->data(), bytes->size());
+    return out;
+  }
+
   template <typename T>
   T recv_value(int source, int tag) {
     auto v = recv<T>(source, tag);
@@ -85,7 +113,7 @@ class Comm {
     return v[0];
   }
 
-  void barrier() { ctx_->barrier(); }
+  void barrier() { ctx_->barrier(rank_); }
 
   /// Root's vector is copied to every rank.
   template <typename T>

@@ -1,0 +1,464 @@
+#include "comm/fault.hpp"
+
+#include <array>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace tess::comm {
+
+namespace {
+
+/// splitmix64 finalizer: the avalanche that turns a structured key into
+/// uniform bits. Decisions must be a pure function of the key, never of
+/// scheduling, so replays from the same seed see the same faults.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform [0, 1) from the (seed, rule, src, dst, tag, seq) key.
+double decision_uniform(std::uint64_t seed, std::size_t rule, int src, int dst,
+                        int tag, std::uint64_t seq) {
+  std::uint64_t h = mix64(seed ^ (0xa076'1d64'78bd'642fULL * (rule + 1)));
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(src)));
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(dst)));
+  h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(tag)));
+  h = mix64(h ^ seq);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool matches_message(const FaultRule& r, int src, int dst, int tag) {
+  if (r.tag != kAnyTag && r.tag != tag) return false;
+  if (r.src != kAnyRank && r.src != src) return false;
+  if (r.dst != kAnyRank && r.dst != dst) return false;
+  return true;
+}
+
+const char* kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDuplicate: return "dup";
+    case FaultKind::kKill: return "kill";
+    case FaultKind::kStall: return "stall";
+  }
+  return "?";
+}
+
+}  // namespace
+
+FaultDecision FaultPlan::decide(int src, int dst, int tag,
+                                std::uint64_t seq) const {
+  FaultDecision d;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const FaultRule& r = rules[i];
+    if (r.kind == FaultKind::kKill || r.kind == FaultKind::kStall) continue;
+    if (!matches_message(r, src, dst, tag)) continue;
+    if (decision_uniform(seed, i, src, dst, tag, seq) >= r.probability)
+      continue;
+    switch (r.kind) {
+      case FaultKind::kDrop:
+        d.drop = true;
+        d.recover_after = r.recover_after;
+        return d;  // drop wins: the message never reaches the mailbox
+      case FaultKind::kDelay:
+        d.delay_pops = r.delay_pops;
+        break;
+      case FaultKind::kDuplicate:
+        ++d.duplicates;
+        break;
+      default:
+        break;
+    }
+  }
+  return d;
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec, std::uint64_t default_seed) {
+  FaultPlan plan;
+  plan.seed = default_seed;
+
+  const auto fail = [&](const std::string& why) {
+    throw std::invalid_argument("FaultPlan::parse: " + why + " in spec '" +
+                                std::string(spec) + "'");
+  };
+  const auto to_u64 = [&](std::string_view v) -> std::uint64_t {
+    std::uint64_t out = 0;
+    if (v.empty()) fail("empty number");
+    for (char c : v) {
+      if (c < '0' || c > '9') fail("bad number '" + std::string(v) + "'");
+      out = out * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return out;
+  };
+  const auto to_int = [&](std::string_view v) -> int {
+    bool neg = !v.empty() && v[0] == '-';
+    const std::uint64_t mag = to_u64(neg ? v.substr(1) : v);
+    return neg ? -static_cast<int>(mag) : static_cast<int>(mag);
+  };
+  const auto to_double = [&](std::string_view v) -> double {
+    try {
+      std::size_t used = 0;
+      const double out = std::stod(std::string(v), &used);
+      if (used != v.size()) fail("bad probability '" + std::string(v) + "'");
+      return out;
+    } catch (const std::invalid_argument&) {
+      fail("bad probability '" + std::string(v) + "'");
+    }
+    return 0.0;
+  };
+
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t end = std::min(spec.find(';', pos), spec.size());
+    std::string_view entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) {
+      if (end == spec.size()) break;
+      continue;
+    }
+
+    // Plan-level `seed=N` entry.
+    if (entry.rfind("seed=", 0) == 0) {
+      plan.seed = to_u64(entry.substr(5));
+      if (end == spec.size()) break;
+      continue;
+    }
+
+    const std::size_t colon = entry.find(':');
+    const std::string_view action = entry.substr(0, colon);
+    FaultRule rule;
+    bool randomized_delay = false;
+    if (action == "drop") {
+      rule.kind = FaultKind::kDrop;
+    } else if (action == "delay") {
+      rule.kind = FaultKind::kDelay;
+    } else if (action == "reorder") {
+      rule.kind = FaultKind::kDelay;
+      randomized_delay = true;
+    } else if (action == "dup" || action == "duplicate") {
+      rule.kind = FaultKind::kDuplicate;
+    } else if (action == "kill") {
+      rule.kind = FaultKind::kKill;
+      rule.max_count = 1;
+    } else if (action == "stall") {
+      rule.kind = FaultKind::kStall;
+      rule.max_count = 1;
+    } else {
+      fail("unknown action '" + std::string(action) + "'");
+    }
+
+    std::string_view kvs =
+        colon == std::string_view::npos ? std::string_view{} : entry.substr(colon + 1);
+    std::size_t kpos = 0;
+    while (kpos < kvs.size()) {
+      const std::size_t kend = std::min(kvs.find(',', kpos), kvs.size());
+      const std::string_view kv = kvs.substr(kpos, kend - kpos);
+      kpos = kend + 1;
+      if (kv.empty()) continue;
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string_view::npos)
+        fail("expected key=value, got '" + std::string(kv) + "'");
+      const std::string_view key = kv.substr(0, eq);
+      const std::string_view val = kv.substr(eq + 1);
+      if (key == "p") {
+        rule.probability = to_double(val);
+      } else if (key == "tag") {
+        rule.tag = to_int(val);
+      } else if (key == "src") {
+        rule.src = to_int(val);
+      } else if (key == "dst") {
+        rule.dst = to_int(val);
+      } else if (key == "rank") {
+        rule.rank = to_int(val);
+      } else if (key == "at") {
+        rule.at_op = to_u64(val);
+      } else if (key == "pops") {
+        rule.delay_pops = to_int(val);
+        randomized_delay = false;
+      } else if (key == "recover") {
+        rule.recover_after = to_int(val);
+      } else if (key == "ms") {
+        rule.stall_ms = to_u64(val);
+      } else if (key == "count") {
+        rule.max_count = static_cast<std::int64_t>(to_u64(val));
+      } else {
+        fail("unknown key '" + std::string(key) + "'");
+      }
+    }
+    // `reorder` without an explicit pop count: vary the delay per rule so
+    // neighboring reorder rules scramble differently but reproducibly.
+    if (randomized_delay) {
+      rule.delay_pops =
+          1 + static_cast<int>(mix64(plan.seed ^ plan.rules.size()) % 5);
+    }
+    plan.rules.push_back(rule);
+    if (end == spec.size()) break;
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed) {
+  util::Rng rng(seed, /*stream=*/0xc4a05);
+  FaultPlan plan;
+  plan.seed = seed;
+
+  FaultRule drop;
+  drop.kind = FaultKind::kDrop;
+  drop.probability = rng.uniform(0.02, 0.15);
+  drop.recover_after = 1 + static_cast<int>(rng.uniform_index(3));
+  plan.rules.push_back(drop);
+
+  FaultRule delay;
+  delay.kind = FaultKind::kDelay;
+  delay.probability = rng.uniform(0.05, 0.25);
+  delay.delay_pops = 1 + static_cast<int>(rng.uniform_index(6));
+  plan.rules.push_back(delay);
+
+  FaultRule dup;
+  dup.kind = FaultKind::kDuplicate;
+  dup.probability = rng.uniform(0.02, 0.12);
+  plan.rules.push_back(dup);
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed;
+  for (const auto& r : rules) {
+    os << ';' << kind_name(r.kind);
+    if (r.kind == FaultKind::kKill || r.kind == FaultKind::kStall) {
+      os << ":rank=" << r.rank << ",at=" << r.at_op;
+      if (r.kind == FaultKind::kStall) os << ",ms=" << r.stall_ms;
+    } else {
+      os << ":p=" << r.probability;
+      if (r.tag != kAnyTag) os << ",tag=" << r.tag;
+      if (r.src != kAnyRank) os << ",src=" << r.src;
+      if (r.dst != kAnyRank) os << ",dst=" << r.dst;
+      if (r.kind == FaultKind::kDelay) os << ",pops=" << r.delay_pops;
+      if (r.kind == FaultKind::kDrop) os << ",recover=" << r.recover_after;
+    }
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+/// Op counters / kill flags cover this many ranks (matches the metrics
+/// registry's per-rank slot budget; higher ranks are not kill/stall-able).
+inline constexpr int kMaxFaultRanks = 128;
+
+struct FaultInjector::Impl {
+  mutable std::mutex mutex;
+  FaultPlan plan;
+  std::vector<std::uint64_t> rule_fired;  // per-rule firing counts (capped rules)
+
+  std::array<std::atomic<std::uint64_t>, kMaxFaultRanks> ops{};
+  std::array<std::atomic<bool>, kMaxFaultRanks> killed{};
+  // Per-(rule, rank) one-shot latch for kill/stall rules, bit per rank.
+  // Only read/written under `mutex`.
+  std::vector<std::array<std::uint64_t, 2>> rank_rule_fired;
+
+  std::atomic<std::uint64_t> dropped{0}, delayed{0}, duplicated{0}, kills{0},
+      stalls{0}, recovered{0}, dedup_dropped{0}, lost{0};
+
+  void reset_runtime_state() {
+    rule_fired.assign(plan.rules.size(), 0);
+    rank_rule_fired.assign(plan.rules.size(), {0, 0});
+    for (auto& ops_slot : ops) ops_slot.store(0, std::memory_order_relaxed);
+    for (auto& k : killed) k.store(false, std::memory_order_relaxed);
+    dropped = delayed = duplicated = kills = stalls = 0;
+    recovered = dedup_dropped = lost = 0;
+  }
+};
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector inj;
+  return inj;
+}
+
+FaultInjector::Impl& FaultInjector::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+void FaultInjector::arm(FaultPlan plan) {
+  Impl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.plan = std::move(plan);
+  s.reset_runtime_state();
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  armed_.store(false, std::memory_order_release);
+}
+
+FaultDecision FaultInjector::on_message(int src, int dst, int tag,
+                                        std::uint64_t seq) {
+  Impl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  // Re-evaluate rule by rule (instead of calling plan.decide) so per-rule
+  // max_count caps see exactly the rule that would fire.
+  FaultDecision d;
+  for (std::size_t i = 0; i < s.plan.rules.size(); ++i) {
+    const FaultRule& r = s.plan.rules[i];
+    if (r.kind == FaultKind::kKill || r.kind == FaultKind::kStall) continue;
+    if (!matches_message(r, src, dst, tag)) continue;
+    if (r.max_count >= 0 &&
+        s.rule_fired[i] >= static_cast<std::uint64_t>(r.max_count))
+      continue;
+    if (decision_uniform(s.plan.seed, i, src, dst, tag, seq) >= r.probability)
+      continue;
+    ++s.rule_fired[i];
+    if (r.kind == FaultKind::kDrop) {
+      d.drop = true;
+      d.recover_after = r.recover_after;
+      s.dropped.fetch_add(1, std::memory_order_relaxed);
+      TESS_COUNT("comm.fault.dropped", 1);
+      return d;
+    }
+    if (r.kind == FaultKind::kDelay) {
+      d.delay_pops = r.delay_pops;
+      s.delayed.fetch_add(1, std::memory_order_relaxed);
+      TESS_COUNT("comm.fault.delayed", 1);
+    } else {
+      ++d.duplicates;
+      s.duplicated.fetch_add(1, std::memory_order_relaxed);
+      TESS_COUNT("comm.fault.duplicated", 1);
+    }
+  }
+  return d;
+}
+
+void FaultInjector::on_op(int rank) {
+  if (rank < 0 || rank >= kMaxFaultRanks) return;
+  Impl& s = impl();
+  if (s.killed[static_cast<std::size_t>(rank)].load(std::memory_order_acquire))
+    throw FaultKillError("fault injection: rank " + std::to_string(rank) +
+                         " was killed and may not continue");
+  const std::uint64_t op =
+      s.ops[static_cast<std::size_t>(rank)].fetch_add(1,
+                                                      std::memory_order_relaxed) +
+      1;
+
+  std::uint64_t stall_ms = 0;
+  bool kill = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (std::size_t i = 0; i < s.plan.rules.size(); ++i) {
+      const FaultRule& r = s.plan.rules[i];
+      if (r.kind != FaultKind::kKill && r.kind != FaultKind::kStall) continue;
+      if (r.rank != kAnyRank && r.rank != rank) continue;
+      if (op < r.at_op) continue;
+      std::uint64_t& latch =
+          s.rank_rule_fired[i][static_cast<std::size_t>(rank) / 64];
+      const std::uint64_t bit = std::uint64_t{1}
+                                << (static_cast<std::size_t>(rank) % 64);
+      if ((latch & bit) != 0) continue;
+      latch |= bit;
+      if (r.kind == FaultKind::kKill) {
+        kill = true;
+        s.kills.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stall_ms = r.stall_ms;
+        s.stalls.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  if (stall_ms > 0) {
+    TESS_COUNT("comm.fault.stalls", 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
+  if (kill) {
+    TESS_COUNT("comm.fault.kills", 1);
+    s.killed[static_cast<std::size_t>(rank)].store(true,
+                                                   std::memory_order_release);
+    // Leave an artifact before unwinding: a chaos failure must be
+    // diagnosable from dumps alone, so a kill behaves like a crash to the
+    // flight recorder.
+    auto& rec = obs::FlightRecorder::instance();
+    if (rec.armed())
+      rec.dump("fault-injected kill of rank " + std::to_string(rank) +
+               " at op " + std::to_string(op));
+    throw FaultKillError("fault injection: rank " + std::to_string(rank) +
+                         " killed at op " + std::to_string(op));
+  }
+}
+
+bool FaultInjector::is_killed(int rank) const {
+  if (rank < 0 || rank >= kMaxFaultRanks) return false;
+  return impl().killed[static_cast<std::size_t>(rank)].load(
+      std::memory_order_acquire);
+}
+
+void FaultInjector::note_recovered(std::uint64_t n) {
+  impl().recovered.fetch_add(n, std::memory_order_relaxed);
+  TESS_COUNT("comm.fault.recovered", n);
+}
+
+void FaultInjector::note_dedup(std::uint64_t n) {
+  impl().dedup_dropped.fetch_add(n, std::memory_order_relaxed);
+  TESS_COUNT("comm.fault.dedup_dropped", n);
+}
+
+void FaultInjector::note_lost(std::uint64_t n) {
+  impl().lost.fetch_add(n, std::memory_order_relaxed);
+  TESS_COUNT("comm.fault.lost", n);
+}
+
+FaultCounts FaultInjector::counts() const {
+  const Impl& s = impl();
+  FaultCounts c;
+  c.dropped = s.dropped.load(std::memory_order_relaxed);
+  c.delayed = s.delayed.load(std::memory_order_relaxed);
+  c.duplicated = s.duplicated.load(std::memory_order_relaxed);
+  c.kills = s.kills.load(std::memory_order_relaxed);
+  c.stalls = s.stalls.load(std::memory_order_relaxed);
+  c.recovered = s.recovered.load(std::memory_order_relaxed);
+  c.dedup_dropped = s.dedup_dropped.load(std::memory_order_relaxed);
+  c.lost = s.lost.load(std::memory_order_relaxed);
+  return c;
+}
+
+FaultPlan FaultInjector::plan() const {
+  Impl& s = impl();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.plan;
+}
+
+std::uint64_t FaultInjector::env_seed(std::uint64_t fallback) {
+  const char* seed = std::getenv("TESS_FAULT_SEED");
+  if (seed == nullptr || *seed == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(seed, &end, 10);
+  if (end == seed || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+bool FaultInjector::arm_from_env() {
+  const char* spec = std::getenv("TESS_FAULT_SPEC");
+  if (spec == nullptr || *spec == '\0') return false;
+  instance().arm(FaultPlan::parse(spec, env_seed(1)));
+  return true;
+}
+
+namespace {
+// `TESS_FAULT_SPEC=... <binary>` injects faults into any comm traffic in
+// the process without code changes, mirroring TESS_FLIGHT arming.
+const bool g_fault_armed_from_env = FaultInjector::arm_from_env();
+}  // namespace
+
+}  // namespace tess::comm

@@ -1,0 +1,209 @@
+// Deterministic fault injection for the comm runtime.
+//
+// The thread-backed Context (comm/context.hpp) models a perfect network;
+// at the paper's production scale (16384 MPI ranks) message delay,
+// reordering, and rank failure are routine, and ghost-exchange completeness
+// — the property parallel Voronoi correctness hinges on — is exactly what
+// breaks first under a degraded network. This header is the chaos half of
+// that story: a FaultPlan (seeded rules) drives a process-global
+// FaultInjector interposed on Context::post (send side) and Mailbox::pop
+// (receive side) that can
+//   * drop a message into a "limbo" retransmit buffer (recovered when the
+//     receiver times out and re-requests, modeling sender-side buffering),
+//   * delay it (invisible to matching until N pops of its channel),
+//   * duplicate it (the copy carries the same sequence number, so
+//     receiver-side dedup must discard it),
+//   * reorder it (an alias for a randomized delay; sequence-ordered
+//     delivery must restore send order), and
+//   * stall or kill a whole rank at a chosen op count.
+//
+// Every decision is a pure hash of (plan seed, rule, src, dst, tag, seq) —
+// never of wall-clock time or thread interleaving — so a run is replayable
+// from the single uint64 seed: same seed, same faults, byte-identical
+// delivery. Arming mirrors the flight recorder (obs/flight.hpp):
+// TESS_FAULT_SPEC in the environment arms the injector in any binary
+// before main(); TESS_FAULT_SEED supplies the seed (and is also the knob
+// CI uses to hand the chaos tests their sweep seed without arming a
+// global plan).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tess::comm {
+
+/// Base class for every error the resilient comm layer reports; catch this
+/// to handle "the network failed" without enumerating the ways.
+struct CommError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// A peer rank exited (cleanly, by exception, or by injected kill) while
+/// this rank was waiting on it — the blocking op can never complete.
+struct RankRetiredError : CommError {
+  using CommError::CommError;
+};
+
+/// A bounded-retry receive gave up: the message did not arrive within the
+/// retry budget and the peer is still alive.
+struct CommTimeoutError : CommError {
+  using CommError::CommError;
+};
+
+/// Thrown on the victim rank's own thread when a kill rule fires.
+struct FaultKillError : CommError {
+  using CommError::CommError;
+};
+
+enum class FaultKind : std::uint8_t { kDrop, kDelay, kDuplicate, kKill, kStall };
+
+/// Wildcard for rule filters. Distinct from any real rank and below every
+/// reserved internal tag (user tags are >= 0, internal tags are -1..-8).
+inline constexpr int kAnyRank = -1000;
+inline constexpr int kAnyTag = -1000;
+
+/// One injection rule. Message rules (drop/delay/duplicate) fire per
+/// message with `probability`, filtered by (src, dst, tag); rank rules
+/// (kill/stall) fire once per matching rank when its op counter reaches
+/// `at_op` (ops = sends + receives + barriers, counted in the rank's own
+/// program order, hence deterministic).
+struct FaultRule {
+  FaultKind kind = FaultKind::kDrop;
+  double probability = 1.0;
+  int tag = kAnyTag;
+  int src = kAnyRank;
+  int dst = kAnyRank;
+
+  /// Kill/stall target rank (kAnyRank = every rank, each at its own op N).
+  int rank = kAnyRank;
+  /// Op ordinal (1-based) at which a kill/stall rule fires.
+  std::uint64_t at_op = 1;
+
+  /// Delay: pops of the destination channel before the message matures.
+  int delay_pops = 2;
+  /// Drop: recovery attempts on the channel before limbo releases the
+  /// message (1 = the first receiver timeout gets it back).
+  int recover_after = 1;
+  /// Stall: how long the victim rank sleeps.
+  std::uint64_t stall_ms = 10;
+  /// Cap on total firings of this rule (-1 = unlimited).
+  std::int64_t max_count = -1;
+};
+
+/// What the injector decided for one message (drop wins over the rest).
+struct FaultDecision {
+  bool drop = false;
+  int recover_after = 1;
+  int delay_pops = 0;
+  int duplicates = 0;
+};
+
+/// A seed plus rules: everything needed to replay a chaos run.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  /// Pure per-message decision (ignores max_count caps, which are runtime
+  /// state owned by the injector): a hash of (seed, rule index, src, dst,
+  /// tag, seq) against each matching rule's probability.
+  [[nodiscard]] FaultDecision decide(int src, int dst, int tag,
+                                     std::uint64_t seq) const;
+
+  /// Parse a spec string: `rule[;rule...]`, each rule
+  /// `action[:key=value[,key=value...]]` with actions drop, delay, dup
+  /// (or duplicate), reorder (delay with a randomized pop count), kill,
+  /// stall; keys p, tag, src, dst, rank, at, pops, recover, ms, count; and
+  /// a bare `seed=N` entry overriding `default_seed`. Examples:
+  ///   "drop:p=0.1"
+  ///   "seed=42;drop:p=0.05,tag=100;delay:p=0.2,pops=4;kill:rank=1,at=500"
+  /// Throws std::invalid_argument on malformed input.
+  static FaultPlan parse(std::string_view spec, std::uint64_t default_seed = 1);
+
+  /// A randomized surviving-ranks mix (drop + delay + duplicate, never
+  /// kill/stall) derived entirely from `seed` — the chaos sweep's plan
+  /// generator.
+  static FaultPlan random(std::uint64_t seed);
+
+  /// One-line human description (for logs, bench output, dumps).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Totals of what the injector did (its own atomics, available even when
+/// TESS_OBS is compiled out; the same values are mirrored into the obs
+/// metrics registry as comm.fault.* counters).
+struct FaultCounts {
+  std::uint64_t dropped = 0;     ///< messages diverted to limbo
+  std::uint64_t delayed = 0;     ///< messages given a maturity delay
+  std::uint64_t duplicated = 0;  ///< extra copies enqueued
+  std::uint64_t kills = 0;       ///< kill rules fired
+  std::uint64_t stalls = 0;      ///< stall rules fired
+  std::uint64_t recovered = 0;   ///< limbo messages released to a retrying receiver
+  std::uint64_t dedup_dropped = 0;  ///< stale/duplicate copies purged by receivers
+  std::uint64_t lost = 0;  ///< limbo messages whose sender died (unrecoverable)
+};
+
+/// Process-global injector. Disarmed (the default) it is one relaxed load
+/// on each hot path; armed it applies the plan. Context/Mailbox consult it
+/// directly, so any comm traffic in the process is subject to the plan.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Install a plan (replaces any previous one; op counters, per-rule fire
+  /// counts, kill flags, and the fault counters reset).
+  void arm(FaultPlan plan);
+  void disarm();
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_acquire);
+  }
+
+  /// Decide the fate of one message (called by Context::post on the sender
+  /// thread). Applies max_count caps and bumps counters.
+  FaultDecision on_message(int src, int dst, int tag, std::uint64_t seq);
+
+  /// Count one comm op for `rank` and apply kill/stall rules. A fired kill
+  /// marks the rank dead (subsequent ops keep throwing), writes a flight
+  /// dump when the recorder is armed, and throws FaultKillError.
+  void on_op(int rank);
+
+  /// Bookkeeping hooks for the transport (limbo recovery + receiver dedup).
+  void note_recovered(std::uint64_t n);
+  void note_dedup(std::uint64_t n);
+  void note_lost(std::uint64_t n);
+
+  /// Whether a kill rule has fired for `rank`. A killed rank's limbo is
+  /// unrecoverable (its modeled retransmit buffer died with it); a rank
+  /// that exited *cleanly* keeps its buffered sends deliverable, like a
+  /// completed MPI_Bsend.
+  [[nodiscard]] bool is_killed(int rank) const;
+
+  [[nodiscard]] FaultCounts counts() const;
+  [[nodiscard]] FaultPlan plan() const;
+
+  /// Arm from TESS_FAULT_SPEC (seed from TESS_FAULT_SEED unless the spec
+  /// carries its own `seed=`). TESS_FAULT_SEED alone does NOT arm — it only
+  /// provides the seed that env_seed() reports, so seeded test binaries can
+  /// run their own faulty-vs-clean comparisons in one process. Evaluated
+  /// once at process start via a static initializer, mirroring TESS_FLIGHT.
+  static bool arm_from_env();
+
+  /// TESS_FAULT_SEED as an integer, else `fallback`.
+  static std::uint64_t env_seed(std::uint64_t fallback);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+ private:
+  FaultInjector() = default;
+  struct Impl;
+  Impl& impl() const;
+  std::atomic<bool> armed_{false};
+};
+
+inline FaultInjector& faults() { return FaultInjector::instance(); }
+
+}  // namespace tess::comm

@@ -27,10 +27,12 @@ void Runtime::run(int nranks, const std::function<void(Comm&)>& fn) {
     try {
       fn(comm);
     } catch (...) {
+      ctx.retire_rank(0);
       obs::heartbeat_retire();
       obs::set_thread_rank(prev_rank);
       throw;
     }
+    ctx.retire_rank(0);
     obs::heartbeat_retire();
     obs::set_thread_rank(prev_rank);
     return;
@@ -49,8 +51,10 @@ void Runtime::run(int nranks, const std::function<void(Comm&)>& fn) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
-      // A rank that exited (cleanly or by exception) is not hung: leave
-      // the watchdog's active set instead of aging forever.
+      // A rank that exited (cleanly or by exception) is not hung: mark it
+      // retired so peers blocked on it fail fast instead of waiting
+      // forever, and leave the watchdog's active set instead of aging.
+      ctx.retire_rank(r);
       obs::heartbeat_retire();
     });
   }

@@ -4,6 +4,7 @@
 #include <numbers>
 #include <optional>
 
+#include "comm/fault.hpp"
 #include "diy/blockio.hpp"
 #include "geom/cell_builder.hpp"
 #include "geom/convex_hull.hpp"
@@ -11,6 +12,14 @@
 #include "obs/trace.hpp"
 
 namespace tess::core {
+
+namespace {
+/// Consecutive collective exchange failures tolerated (fault injector armed)
+/// before tessellation gives up. Each failed pass already represents a full
+/// bounded-retry receive budget on every incomplete rank, so reaching this
+/// streak means the missing data is effectively unrecoverable.
+constexpr int kMaxFailedExchangePasses = 8;
+}  // namespace
 
 Tessellator::Tessellator(comm::Comm& comm, const diy::Decomposition& decomp,
                          const TessOptions& options)
@@ -107,6 +116,18 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
   std::vector<geom::ClipScratch> scratches(static_cast<std::size_t>(nthreads));
   constexpr std::size_t kGrain = 64;
 
+  // Graceful-degradation state (fault injector armed only). A pass whose
+  // exchange stays incomplete after the bounded retries is abandoned by
+  // *every* rank — the verdict is collective, so the symmetric message
+  // pattern and the ghost trajectory stay identical across ranks — and the
+  // same pass is re-attempted: ghost/prev_ghost do not advance, the sites
+  // it would have resolved remain pending (re-requested), and a rank that
+  // did receive everything carries its ghosts to the retry instead of
+  // re-exchanging (nothing may be sent twice).
+  int failed_streak = 0;
+  std::optional<std::vector<diy::Particle>> carried;
+  bool builder_fresh_done = false;
+
   double prev_ghost = 0.0;
   for (int iteration = 1;; ++iteration) {
     TESS_SPAN(iteration == 1 ? "tess.pass" : "tess.retry_pass");
@@ -121,15 +142,43 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
     // from-scratch exchange at the current ghost.
     timer.reset();
     timer.start();
-    const bool fresh = iteration == 1 || !reuse;
+    // Stable across retries of a failed pass: the builder's fresh append
+    // must happen exactly once, however many attempts the pass takes.
+    const bool fresh = !reuse || !builder_fresh_done;
     std::vector<diy::Particle> ghosts;
-    {
+    bool have = true;
+    if (carried) {
+      ghosts = std::move(*carried);
+      carried.reset();
+    } else {
       TESS_SPAN(fresh ? "tess.exchange" : "tess.exchange_delta");
       ghosts = fresh
                    ? exchanger_.exchange_ghost(mine, ghost)
                    : exchanger_.exchange_ghost_delta(mine, prev_ghost, ghost);
+      have = exchanger_.last_exchange_complete();
     }
     timer.stop();
+
+    if (comm::faults().armed()) {
+      // Collective verdict on the pass: if any rank is missing a neighbor's
+      // message, all ranks abandon the pass together and retry it — cells
+      // are never built from a partial ghost set.
+      const std::size_t missing =
+          comm_->allreduce_sum(static_cast<std::size_t>(have ? 0 : 1));
+      if (missing > 0) {
+        TESS_COUNT("tess.exchange_failed_passes", 1);
+        TESS_COUNT("tess.cells_rerequested", pending.size());
+        if (have) carried = std::move(ghosts);
+        if (++failed_streak >= kMaxFailedExchangePasses)
+          throw comm::CommTimeoutError(
+              "tessellate_auto: ghost exchange failed on " +
+              std::to_string(missing) + " rank(s) for " +
+              std::to_string(failed_streak) + " consecutive passes");
+        continue;
+      }
+      failed_streak = 0;
+    }
+    if (fresh) builder_fresh_done = true;
     IterationStats iter;
     iter.ghost = ghost;
     iter.exchange_seconds = timer.seconds();
@@ -327,12 +376,34 @@ BlockMesh Tessellator::tessellate_once(const std::vector<diy::Particle>& mine,
   TESS_SPAN("tess.pass");
   TESS_COUNT("tess.passes", 1);
 
-  // 1. Ghost-zone neighbor exchange.
+  // 1. Ghost-zone neighbor exchange. Under an armed fault injector the
+  // exchange may come back incomplete; all ranks then agree (collectively)
+  // to resume the receive side until every rank has its full ghost set or
+  // the failure budget runs out — cells are never built from partial data.
   timer.start();
   std::vector<diy::Particle> ghosts;
   {
     TESS_SPAN("tess.exchange");
     ghosts = exchanger_.exchange_ghost(mine, ghost);
+  }
+  if (comm::faults().armed()) {
+    int streak = 0;
+    while (true) {
+      const bool have = exchanger_.last_exchange_complete();
+      const std::size_t missing =
+          comm_->allreduce_sum(static_cast<std::size_t>(have ? 0 : 1));
+      if (missing == 0) break;
+      TESS_COUNT("tess.exchange_failed_passes", 1);
+      if (++streak >= kMaxFailedExchangePasses)
+        throw comm::CommTimeoutError(
+            "tessellate_once: ghost exchange failed on " +
+            std::to_string(missing) + " rank(s) for " + std::to_string(streak) +
+            " consecutive attempts");
+      if (!have) {
+        TESS_SPAN("tess.exchange");
+        ghosts = exchanger_.exchange_ghost(mine, ghost);
+      }
+    }
   }
   timer.stop();
   stats_.exchange_seconds = timer.seconds();

@@ -1,12 +1,25 @@
 #include "diy/exchange.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
+#include "comm/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace tess::diy {
+
+namespace {
+/// Bounded-retry receive budget used while the fault injector is armed:
+/// kRecvAttempts attempts with exponential backoff starting at
+/// kRecvBaseTimeout (25, 50, 100, 200 ms). Each attempt also ticks the
+/// channel's limbo recovery twice (see Mailbox::pop_for), so the budget is
+/// 8 recovery ticks per neighbor per pass — what a drop rule's
+/// recover_after is measured against.
+constexpr std::chrono::milliseconds kRecvBaseTimeout{25};
+constexpr int kRecvAttempts = 4;
+}  // namespace
 
 Exchanger::Exchanger(comm::Comm& comm, const Decomposition& decomp)
     : comm_(&comm), decomp_(&decomp) {
@@ -54,6 +67,19 @@ std::vector<Particle> Exchanger::exchange_annulus(const std::vector<Particle>& m
                                                   double ghost_prev,
                                                   double ghost_next) {
   TESS_SPAN("diy.exchange_annulus");
+  const bool armed = comm::faults().armed();
+  if (armed && in_progress_) {
+    // Resuming a pass that timed out: the annulus must be identical —
+    // resending under a different parameterization would desynchronize the
+    // per-channel sequence streams.
+    if (ghost_prev != pending_prev_ || ghost_next != pending_next_)
+      throw std::logic_error(
+          "Exchanger: resumed exchange must reuse the incomplete pass's "
+          "annulus");
+    TESS_COUNT("diy.exchange_resumed", 1);
+    return finish_exchange();
+  }
+
   // Target-point destination selection: particle p goes to neighbor n iff
   // its (periodically shifted) image lies within the (ghost_prev, ghost_next]
   // annulus around n's block. Outgoing particles are grouped per destination
@@ -85,10 +111,62 @@ std::vector<Particle> Exchanger::exchange_annulus(const std::vector<Particle>& m
   for (std::size_t s = 0; s < send_blocks_.size(); ++s)
     comm_->send(send_blocks_[s], kTagGhost, send_bufs_[s]);
 
-  std::vector<Particle> ghosts = self_buf_;
-  for (const int src : send_blocks_) {
-    auto in = comm_->recv<Particle>(src, kTagGhost);
+  if (!armed) {
+    // Perfect network: plain blocking receives, no retry machinery.
+    std::vector<Particle> ghosts = self_buf_;
+    for (const int src : send_blocks_) {
+      auto in = comm_->recv<Particle>(src, kTagGhost);
+      ghosts.insert(ghosts.end(), in.begin(), in.end());
+    }
+    TESS_COUNT("diy.ghost_sent", last_sent_);
+    TESS_COUNT("diy.ghost_received", ghosts.size());
+    return ghosts;
+  }
+
+  in_progress_ = true;
+  pending_prev_ = ghost_prev;
+  pending_next_ = ghost_next;
+  pending_self_ = self_buf_;
+  recv_pending_.assign(send_blocks_.size(), 1);
+  recv_store_.assign(send_blocks_.size(), {});
+  return finish_exchange();
+}
+
+std::vector<Particle> Exchanger::finish_exchange() {
+  // Receive from every still-pending neighbor with bounded exponential
+  // backoff. A neighbor that exhausts the budget is skipped (the others
+  // still drain), the exchange stays incomplete, and the caller decides
+  // whether to resume or give up. RankRetiredError propagates: a dead peer
+  // cannot be waited out.
+  for (std::size_t s = 0; s < send_blocks_.size(); ++s) {
+    if (recv_pending_[s] == 0) continue;
+    const int src = send_blocks_[s];
+    auto timeout = kRecvBaseTimeout;
+    for (int attempt = 0; attempt < kRecvAttempts; ++attempt) {
+      if (attempt > 0) TESS_COUNT("comm.recv.retries", 1);
+      auto in = comm_->recv_for<Particle>(src, kTagGhost, timeout);
+      if (in) {
+        recv_store_[s] = std::move(*in);
+        recv_pending_[s] = 0;
+        break;
+      }
+      timeout *= 2;
+    }
+    if (recv_pending_[s] != 0) TESS_COUNT("comm.recv.timeouts", 1);
+  }
+
+  if (std::find(recv_pending_.begin(), recv_pending_.end(), std::uint8_t{1}) !=
+      recv_pending_.end()) {
+    TESS_COUNT("diy.exchange_incomplete", 1);
+    return {};
+  }
+
+  in_progress_ = false;
+  std::vector<Particle> ghosts = std::move(pending_self_);
+  pending_self_.clear();
+  for (auto& in : recv_store_) {
     ghosts.insert(ghosts.end(), in.begin(), in.end());
+    in.clear();
   }
   TESS_COUNT("diy.ghost_sent", last_sent_);
   TESS_COUNT("diy.ghost_received", ghosts.size());

@@ -9,6 +9,7 @@
 // drift out of their block between time steps).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "comm/comm.hpp"
@@ -85,13 +86,33 @@ class Exchanger {
   /// Particles sent by this rank in the last exchange_ghost call.
   [[nodiscard]] std::size_t last_sent() const { return last_sent_; }
 
+  /// Whether the last exchange_ghost/exchange_ghost_delta call received
+  /// every neighbor's message. Always true with the fault injector
+  /// disarmed (receives block until satisfied). When armed, a neighbor
+  /// whose message stayed missing through the bounded retry budget leaves
+  /// the exchange incomplete: the call returns an empty vector, already-
+  /// received messages stay stashed, and the next call with the *same*
+  /// annulus resumes receive-only (nothing is re-sent — the missing
+  /// message is in the injector's limbo or the peer is dead, and a resend
+  /// would shift the sequence stream under the receiver).
+  [[nodiscard]] bool last_exchange_complete() const { return !in_progress_; }
+
  private:
   std::vector<Particle> exchange_annulus(const std::vector<Particle>& mine,
                                          double ghost_prev, double ghost_next);
+  std::vector<Particle> finish_exchange();
 
   comm::Comm* comm_;
   const Decomposition* decomp_;
   std::size_t last_sent_ = 0;
+
+  // Resumable-exchange state (only used while the fault injector is armed).
+  bool in_progress_ = false;
+  double pending_prev_ = 0.0;
+  double pending_next_ = 0.0;
+  std::vector<std::uint8_t> recv_pending_;        // per send_blocks_ slot
+  std::vector<std::vector<Particle>> recv_store_;  // received, awaiting assembly
+  std::vector<Particle> pending_self_;             // self-images of the pass
 
   // Neighborhood state cached at construction (the decomposition is
   // immutable): neighbor list, hoisted per-neighbor block bounds, the sorted

@@ -1,0 +1,432 @@
+// Tests for the deterministic fault-injection layer (comm/fault.hpp): plan
+// parsing, pure-hash decision determinism, drop/delay/duplicate/reorder
+// healing in the transport, limbo recovery through blocking and timed
+// receives, kill/stall rules, retired-rank detection, and env arming.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "comm/fault.hpp"
+#include "obs/flight.hpp"
+
+using tess::comm::Comm;
+using tess::comm::CommError;
+using tess::comm::FaultCounts;
+using tess::comm::FaultKind;
+using tess::comm::FaultPlan;
+using tess::comm::faults;
+using tess::comm::RankRetiredError;
+using tess::comm::Runtime;
+
+namespace {
+
+/// Every test leaves the process-global injector disarmed.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { faults().disarm(); }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FaultPlan: parsing, description, decision purity
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, ParseFullSpec) {
+  const auto plan = FaultPlan::parse(
+      "seed=42;drop:p=0.05,tag=100,recover=3;delay:p=0.2,pops=4,src=1,dst=2;"
+      "dup:p=0.1;kill:rank=1,at=500;stall:rank=0,at=10,ms=25",
+      7);
+  EXPECT_EQ(plan.seed, 42u);  // spec seed overrides the default
+  ASSERT_EQ(plan.rules.size(), 5u);
+  EXPECT_EQ(plan.rules[0].kind, FaultKind::kDrop);
+  EXPECT_DOUBLE_EQ(plan.rules[0].probability, 0.05);
+  EXPECT_EQ(plan.rules[0].tag, 100);
+  EXPECT_EQ(plan.rules[0].recover_after, 3);
+  EXPECT_EQ(plan.rules[1].kind, FaultKind::kDelay);
+  EXPECT_EQ(plan.rules[1].delay_pops, 4);
+  EXPECT_EQ(plan.rules[1].src, 1);
+  EXPECT_EQ(plan.rules[1].dst, 2);
+  EXPECT_EQ(plan.rules[2].kind, FaultKind::kDuplicate);
+  EXPECT_EQ(plan.rules[3].kind, FaultKind::kKill);
+  EXPECT_EQ(plan.rules[3].rank, 1);
+  EXPECT_EQ(plan.rules[3].at_op, 500u);
+  EXPECT_EQ(plan.rules[3].max_count, 1);
+  EXPECT_EQ(plan.rules[4].kind, FaultKind::kStall);
+  EXPECT_EQ(plan.rules[4].stall_ms, 25u);
+  EXPECT_FALSE(plan.describe().empty());
+}
+
+TEST_F(FaultTest, ParseUsesDefaultSeedWithoutOverride) {
+  const auto plan = FaultPlan::parse("drop:p=0.5", 99);
+  EXPECT_EQ(plan.seed, 99u);
+  ASSERT_EQ(plan.rules.size(), 1u);
+}
+
+TEST_F(FaultTest, ParseRejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("bogus"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop:p=notanumber"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop:unknownkey=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop:p"), std::invalid_argument);
+}
+
+TEST_F(FaultTest, DecideIsAPureFunctionOfTheKey) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  tess::comm::FaultRule drop;
+  drop.kind = FaultKind::kDrop;
+  drop.probability = 0.5;
+  plan.rules.push_back(drop);
+
+  int drops = 0, total = 0;
+  for (int src = 0; src < 4; ++src)
+    for (int dst = 0; dst < 4; ++dst)
+      for (std::uint64_t seq = 0; seq < 50; ++seq) {
+        const auto a = plan.decide(src, dst, 7, seq);
+        const auto b = plan.decide(src, dst, 7, seq);
+        EXPECT_EQ(a.drop, b.drop);
+        EXPECT_EQ(a.delay_pops, b.delay_pops);
+        EXPECT_EQ(a.duplicates, b.duplicates);
+        drops += a.drop ? 1 : 0;
+        ++total;
+      }
+  // p=0.5 over 800 keys: both outcomes must occur, in roughly even split.
+  EXPECT_GT(drops, total / 4);
+  EXPECT_LT(drops, 3 * total / 4);
+
+  FaultPlan other = plan;
+  other.seed = 4321;
+  bool any_difference = false;
+  for (std::uint64_t seq = 0; seq < 200 && !any_difference; ++seq)
+    any_difference =
+        plan.decide(0, 1, 7, seq).drop != other.decide(0, 1, 7, seq).drop;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(FaultTest, RandomPlanIsSeedDeterministic) {
+  EXPECT_EQ(FaultPlan::random(7).describe(), FaultPlan::random(7).describe());
+  EXPECT_NE(FaultPlan::random(7).describe(), FaultPlan::random(8).describe());
+  for (const auto& r : FaultPlan::random(7).rules) {
+    EXPECT_NE(r.kind, FaultKind::kKill);
+    EXPECT_NE(r.kind, FaultKind::kStall);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transport semantics under injected faults
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, DropIsRecoveredThroughBlockingReceive) {
+  faults().arm(FaultPlan::parse("drop:p=1,tag=5,recover=5"));
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 5, 777);
+    } else {
+      EXPECT_EQ(c.recv_value<int>(0, 5), 777);
+    }
+  });
+  const FaultCounts counts = faults().counts();
+  EXPECT_EQ(counts.dropped, 1u);
+  EXPECT_EQ(counts.recovered, 1u);
+  EXPECT_EQ(counts.lost, 0u);
+}
+
+TEST_F(FaultTest, DropRecoveryTicksAreCountedNotTimed) {
+  // recover=3 against pop_for's two ticks per call (entry + deadline): the
+  // first timed receive must miss, the second must hit, regardless of how
+  // the threads are scheduled.
+  faults().arm(FaultPlan::parse("drop:p=1,tag=9,recover=3"));
+  Runtime::run(2, [](Comm& c) {
+    using namespace std::chrono_literals;
+    if (c.rank() == 0) {
+      c.send_value(1, 9, 31337);
+      c.send_value(1, 1, 1);  // handshake: tag 9 is already posted (in limbo)
+    } else {
+      EXPECT_EQ(c.recv_value<int>(0, 1), 1);
+      EXPECT_FALSE(c.recv_bytes_for(0, 9, 5ms).has_value());  // ticks 1, 2
+      const auto second = c.recv_for<int>(0, 9, 5ms);         // tick 3: released
+      ASSERT_TRUE(second.has_value());
+      EXPECT_EQ((*second)[0], 31337);
+    }
+  });
+  const FaultCounts counts = faults().counts();
+  EXPECT_EQ(counts.dropped, 1u);
+  EXPECT_EQ(counts.recovered, 1u);
+}
+
+TEST_F(FaultTest, DuplicatesAreDeduped) {
+  constexpr int kN = 20;
+  faults().arm(FaultPlan::parse("dup:p=1,tag=6"));
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < kN; ++i) c.send_value(1, 6, i);
+    } else {
+      for (int i = 0; i < kN; ++i) EXPECT_EQ(c.recv_value<int>(0, 6), i);
+    }
+  });
+  const FaultCounts counts = faults().counts();
+  EXPECT_EQ(counts.duplicated, static_cast<std::uint64_t>(kN));
+  // Each duplicate is purged in the same channel scan that delivers its
+  // sequence number, so dedup keeps pace with duplication exactly.
+  EXPECT_EQ(counts.dedup_dropped, static_cast<std::uint64_t>(kN));
+}
+
+TEST_F(FaultTest, DelayPreservesSendOrder) {
+  faults().arm(FaultPlan::parse("delay:p=1,tag=8,pops=3"));
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 5; ++i) c.send_value(1, 8, i);
+    } else {
+      for (int i = 0; i < 5; ++i) EXPECT_EQ(c.recv_value<int>(0, 8), i);
+    }
+  });
+  EXPECT_EQ(faults().counts().delayed, 5u);
+}
+
+TEST_F(FaultTest, ReorderIsHealedBySequenceNumbers) {
+  faults().arm(FaultPlan::parse("seed=11;reorder:p=0.6,tag=12"));
+  Runtime::run(2, [](Comm& c) {
+    constexpr int kN = 100;
+    if (c.rank() == 0) {
+      for (int i = 0; i < kN; ++i) c.send_value(1, 12, i);
+    } else {
+      for (int i = 0; i < kN; ++i) EXPECT_EQ(c.recv_value<int>(0, 12), i);
+    }
+  });
+  EXPECT_GT(faults().counts().delayed, 0u);
+}
+
+TEST_F(FaultTest, PopForTimesOutOnUnrecoverableDrop) {
+  // recover=1000 cannot be reached within one bounded receive: nullopt.
+  faults().arm(FaultPlan::parse("drop:p=1,tag=4,recover=1000"));
+  Runtime::run(2, [](Comm& c) {
+    using namespace std::chrono_literals;
+    if (c.rank() == 0) {
+      c.send_value(1, 4, 1);
+      c.send_value(1, 1, 1);
+    } else {
+      EXPECT_EQ(c.recv_value<int>(0, 1), 1);
+      EXPECT_FALSE(c.recv_bytes_for(0, 4, 2ms).has_value());
+    }
+  });
+  EXPECT_EQ(faults().counts().dropped, 1u);
+  EXPECT_EQ(faults().counts().recovered, 0u);
+}
+
+TEST_F(FaultTest, SameSeedSameDeliverySameCounters) {
+  const std::string spec =
+      "seed=2024;drop:p=0.3,tag=7,recover=1;delay:p=0.3,tag=7,pops=2;"
+      "dup:p=0.2,tag=7";
+  constexpr int kRanks = 4;
+  constexpr int kMsgs = 50;
+
+  const auto run_once = [&] {
+    faults().arm(FaultPlan::parse(spec));  // re-arm: counters and seqs reset
+    std::vector<std::vector<int>> logs(kRanks);
+    Runtime::run(kRanks, [&](Comm& c) {
+      for (int dst = 0; dst < kRanks; ++dst) {
+        if (dst == c.rank()) continue;
+        for (int i = 0; i < kMsgs; ++i)
+          c.send_value(dst, 7, c.rank() * 100000 + i);
+      }
+      auto& log = logs[static_cast<std::size_t>(c.rank())];
+      for (int src = 0; src < kRanks; ++src) {
+        if (src == c.rank()) continue;
+        for (int i = 0; i < kMsgs; ++i) log.push_back(c.recv_value<int>(src, 7));
+      }
+    });
+    return std::make_pair(logs, faults().counts());
+  };
+
+  const auto [logs_a, counts_a] = run_once();
+  const auto [logs_b, counts_b] = run_once();
+  EXPECT_EQ(logs_a, logs_b);  // byte-identical delivery, both runs
+  EXPECT_EQ(counts_a.dropped, counts_b.dropped);
+  EXPECT_EQ(counts_a.delayed, counts_b.delayed);
+  EXPECT_EQ(counts_a.duplicated, counts_b.duplicated);
+  EXPECT_EQ(counts_a.recovered, counts_b.recovered);
+  // The plan actually did something, and every drop was healed.
+  EXPECT_GT(counts_a.dropped, 0u);
+  EXPECT_GT(counts_a.delayed, 0u);
+  EXPECT_GT(counts_a.duplicated, 0u);
+  EXPECT_EQ(counts_a.recovered, counts_a.dropped);
+
+  // Per-channel delivery is in send order even under reorder-inducing
+  // faults: each rank's log is exactly the sorted per-source sequences.
+  for (int r = 0; r < kRanks; ++r) {
+    std::size_t k = 0;
+    for (int src = 0; src < kRanks; ++src) {
+      if (src == r) continue;
+      for (int i = 0; i < kMsgs; ++i)
+        EXPECT_EQ(logs_a[static_cast<std::size_t>(r)][k++], src * 100000 + i);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kill and stall rules
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, KillFailsFastWithCleanError) {
+  faults().arm(FaultPlan::parse("kill:rank=1,at=4"));
+  EXPECT_THROW(Runtime::run(2,
+                            [](Comm& c) {
+                              for (int i = 0; i < 100; ++i) {
+                                if (c.rank() == 0) {
+                                  c.send_value(1, 3, i);
+                                } else {
+                                  c.recv_value<int>(0, 3);
+                                }
+                              }
+                              if (c.rank() == 0) c.recv_value<int>(1, 2);
+                            }),
+               CommError);
+  EXPECT_EQ(faults().counts().kills, 1u);
+}
+
+TEST_F(FaultTest, KillWritesFlightRecorderDump) {
+#if TESS_OBS_ENABLED
+  const std::string prefix =
+      ::testing::TempDir() + "fault_kill_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  tess::obs::FlightConfig cfg;
+  cfg.path_prefix = prefix;
+  cfg.watchdog = false;
+  cfg.signals = false;
+  tess::obs::FlightRecorder::instance().arm(cfg);
+  faults().arm(FaultPlan::parse("kill:rank=1,at=2"));
+  EXPECT_THROW(Runtime::run(2,
+                            [](Comm& c) {
+                              for (int i = 0; i < 10; ++i) {
+                                if (c.rank() == 0) {
+                                  c.send_value(1, 3, i);
+                                } else {
+                                  c.recv_value<int>(0, 3);
+                                }
+                              }
+                              if (c.rank() == 0) c.recv_value<int>(1, 2);
+                            }),
+               CommError);
+  EXPECT_TRUE(tess::obs::FlightRecorder::instance().fired());
+  std::ifstream in(prefix + ".flight.txt");
+  ASSERT_TRUE(in.good());
+  std::stringstream dump;
+  dump << in.rdbuf();
+  EXPECT_NE(dump.str().find("fault-injected kill"), std::string::npos);
+  tess::obs::FlightRecorder::instance().disarm();
+#else
+  GTEST_SKIP() << "flight recorder requires TESS_OBS";
+#endif
+}
+
+TEST_F(FaultTest, StallSleepsTheVictimOnce) {
+  faults().arm(FaultPlan::parse("stall:rank=0,at=1,ms=60"));
+  const auto start = std::chrono::steady_clock::now();
+  Runtime::run(1, [](Comm& c) {
+    c.send_value(0, 2, 5);  // op 1: stalls, then completes normally
+    EXPECT_EQ(c.recv_value<int>(0, 2), 5);
+  });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 50);
+  EXPECT_EQ(faults().counts().stalls, 1u);
+}
+
+TEST_F(FaultTest, KilledSenderLimboIsCountedLost) {
+  // Rank 0 posts into limbo (dropped) and is then killed before any
+  // recovery: rank 1's receive must fail with a clean error, and the limbo
+  // message must be accounted lost, not leaked.
+  faults().arm(FaultPlan::parse("drop:p=1,tag=5,recover=100000;kill:rank=0,at=2"));
+  EXPECT_THROW(Runtime::run(2,
+                            [](Comm& c) {
+                              if (c.rank() == 0) {
+                                c.send_value(1, 5, 1);  // op 1: dropped to limbo
+                                c.send_value(1, 5, 2);  // op 2: kill fires
+                              } else {
+                                c.recv_value<int>(0, 5);
+                              }
+                            }),
+               CommError);
+  EXPECT_EQ(faults().counts().kills, 1u);
+  EXPECT_EQ(faults().counts().lost, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Retired-rank detection (the latent-hang fix; active without the injector)
+// ---------------------------------------------------------------------------
+
+TEST(CommRetired, PopFailsWhenPeerHasExited) {
+  EXPECT_THROW(Runtime::run(2,
+                            [](Comm& c) {
+                              if (c.rank() == 1) c.recv_value<int>(0, 42);
+                            }),
+               RankRetiredError);
+}
+
+TEST(CommRetired, BarrierFailsWhenPeerHasExited) {
+  EXPECT_THROW(Runtime::run(2,
+                            [](Comm& c) {
+                              if (c.rank() == 1) c.barrier();
+                            }),
+               RankRetiredError);
+}
+
+TEST(CommRetired, QueuedMessageStillDeliveredAfterPeerExit) {
+  // A peer that sent before exiting is not an error: the message is there.
+  Runtime::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 3, 99);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      EXPECT_EQ(c.recv_value<int>(0, 3), 99);
+    }
+  });
+}
+
+TEST(CommRetired, ErrorOnOneRankReleasesTheOthers) {
+  // Rank 0 dies by exception; ranks blocked on it must unwind promptly
+  // (RankRetiredError) rather than deadlock the whole run.
+  EXPECT_THROW(Runtime::run(3,
+                            [](Comm& c) {
+                              if (c.rank() == 0)
+                                throw std::runtime_error("rank 0 exploded");
+                              c.recv_value<int>(0, 1);
+                            }),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Environment arming
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, EnvSeedReadsVariableWithFallback) {
+  unsetenv("TESS_FAULT_SEED");
+  EXPECT_EQ(tess::comm::FaultInjector::env_seed(5), 5u);
+  setenv("TESS_FAULT_SEED", "12345", 1);
+  EXPECT_EQ(tess::comm::FaultInjector::env_seed(5), 12345u);
+  setenv("TESS_FAULT_SEED", "not-a-number", 1);
+  EXPECT_EQ(tess::comm::FaultInjector::env_seed(5), 5u);
+  unsetenv("TESS_FAULT_SEED");
+}
+
+TEST_F(FaultTest, ArmFromEnvRequiresSpecNotJustSeed) {
+  unsetenv("TESS_FAULT_SPEC");
+  setenv("TESS_FAULT_SEED", "777", 1);
+  EXPECT_FALSE(tess::comm::FaultInjector::arm_from_env());
+  setenv("TESS_FAULT_SPEC", "drop:p=0.1,tag=100", 1);
+  EXPECT_TRUE(tess::comm::FaultInjector::arm_from_env());
+  EXPECT_TRUE(faults().armed());
+  const auto plan = faults().plan();
+  EXPECT_EQ(plan.seed, 777u);  // TESS_FAULT_SEED feeds the armed plan
+  ASSERT_EQ(plan.rules.size(), 1u);
+  EXPECT_EQ(plan.rules[0].tag, 100);
+  unsetenv("TESS_FAULT_SPEC");
+  unsetenv("TESS_FAULT_SEED");
+}
