@@ -17,10 +17,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "diy/blockio.hpp"
 #include "obs/obs.hpp"
 #include "util/table.hpp"
 
@@ -39,9 +41,76 @@ bench::InSituResult tessellate_snapshot(int ranks,
   return r;
 }
 
+void remove_step_files(const std::string& pattern, int steps) {
+  for (int s = 1; s <= steps; ++s) {
+    const auto p = diy::step_path(pattern, s);
+    std::remove(p.c_str());
+  }
+}
+
+/// The in-situ loop: tessellate + write EVERY simulation step, serial vs
+/// pipelined (core/pipeline.hpp). Same work in both modes; the pipelined
+/// loop takes the tessellation and the write off the simulation thread.
+void insitu_loop_section(bool small, bool run_serial, bool run_pipelined) {
+  hacc::SimConfig sim;
+  sim.np = sim.ng = small ? 16 : 32;
+  sim.seed = 99;
+  const int ranks = small ? 2 : 4;
+  const int steps = small ? 5 : 10;
+  core::TessOptions tess;
+  tess.ghost = 4.0;
+
+  util::Table table({"Mode", "Wall(s)", "Sim(s,cpu)", "Tess(s,cpu)",
+                     "Write(s,cpu)", "Modeled wall", "Overlap x"});
+  auto run_mode = [&](bool pipelined) {
+    bench::InSituLoopConfig cfg;
+    cfg.sim = sim;
+    cfg.tess = tess;
+    cfg.steps = steps;
+    cfg.output_pattern =
+        std::string("/tmp/tess_fig10_insitu_") +
+        (pipelined ? "pipe" : "serial") + "_%d.bin";
+    cfg.stats_path = std::string("/tmp/tess_fig10_insitu_") +
+                     (pipelined ? "pipe" : "serial") + ".jsonl";
+    std::remove(cfg.stats_path.c_str());
+    cfg.pipelined = pipelined;
+    const auto r = bench::run_insitu_loop(ranks, cfg);
+    remove_step_files(cfg.output_pattern, steps);
+    std::remove(cfg.stats_path.c_str());
+    // Modeled wall on a shared-core host: serial pays the stage sum, the
+    // pipeline pays only the slowest stage (plus hand-off, which the
+    // pipeline.stall.* spans expose).
+    const double modeled = pipelined ? r.stage_max() : r.stage_sum();
+    table.add_row({pipelined ? "pipelined" : "serial",
+                   util::Table::cell(r.wall, 3),
+                   util::Table::cell(r.sim_cpu_max, 3),
+                   util::Table::cell(r.tess_cpu_max, 3),
+                   util::Table::cell(r.write_cpu_max, 3),
+                   util::Table::cell(modeled, 3),
+                   util::Table::cell(r.modeled_overlap_speedup(), 2)});
+  };
+  if (run_serial) run_mode(false);
+  if (run_pipelined) run_mode(true);
+  std::printf(
+      "In-situ loop (np=%d^3, %d ranks, %d steps, tessellate+write every "
+      "step):\n%s\n"
+      "'Overlap x' = (sim+tess+write)/max(stage): the modeled speedup from\n"
+      "overlapping the stages; wall equals the modeled number only when\n"
+      "each stage has its own core (see EXPERIMENTS.md on the CPU-timer\n"
+      "substitution). Spans pipeline.stage.* land on the stage-thread\n"
+      "lanes, off the simulation thread's critical path.\n\n",
+      sim.np, ranks, steps, table.render().c_str());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --insitu {serial|pipelined|both|off}: restrict the in-situ loop modes.
+  std::string insitu_mode = "both";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--insitu") == 0 && i + 1 < argc)
+      insitu_mode = argv[++i];
+  }
   const char* small_env = std::getenv("TESS_BENCH_SMALL");
   const bool small = small_env != nullptr && *small_env != '\0' &&
                      *small_env != '0';
@@ -127,6 +196,11 @@ int main() {
   std::printf("paper reference: strong scaling efficiency 30-41%%, weak scaling\n"
               "efficiency ~86%%; the serial Voronoi computation dominates and\n"
               "scales well, I/O begins to wane at the largest configurations\n\n");
+
+  // ---- In-situ loop: tessellate + write every step, serial vs pipelined. ----
+  if (insitu_mode != "off")
+    insitu_loop_section(small, insitu_mode == "both" || insitu_mode == "serial",
+                        insitu_mode == "both" || insitu_mode == "pipelined");
 
   std::printf("%s\n", imbalance_md.c_str());
   bench::obs_export(prefix);

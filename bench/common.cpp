@@ -3,6 +3,9 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "analysis/insitu_stats.hpp"
+#include "core/pipeline.hpp"
+#include "diy/blockio.hpp"
 #include "obs/obs.hpp"
 
 namespace tess::bench {
@@ -132,6 +135,89 @@ InSituResult run_standalone(int nranks, const std::vector<diy::Particle>& partic
       result.output_bytes = stats.output_bytes;
       result.traffic_bytes = c.traffic_bytes();
       result.meshes = std::move(meshes);
+    }
+  });
+  return result;
+}
+
+InSituLoopResult run_insitu_loop(int nranks, const InSituLoopConfig& cfg) {
+  InSituLoopResult result;
+  std::mutex m;
+  const auto hook =
+      cfg.stats_path.empty()
+          ? std::function<void(comm::Comm&, int, const std::vector<double>&)>{}
+          : analysis::make_stats_streamer(cfg.stats_path, 0.0, 8.0, 32);
+
+  comm::Runtime::run(nranks, [&](comm::Comm& c) {
+    hacc::Simulation sim(c, cfg.sim);
+    c.barrier();
+    util::Timer wall;
+    wall.start();
+    util::ThreadCpuTimer sim_cpu;
+    double tess_cpu = 0.0, write_cpu = 0.0;
+    std::uint64_t bytes = 0;
+
+    if (cfg.pipelined) {
+      core::PipelineOptions opt;
+      opt.tess = cfg.tess;
+      opt.output_pattern = cfg.output_pattern;
+      opt.queue_depth = cfg.queue_depth;
+      if (hook)
+        opt.on_step = [&hook](comm::Comm& wc,
+                              const core::PipelineStepResult& r) {
+          hook(wc, r.step, r.cell_volumes);
+        };
+      core::InSituPipeline pipe(c, sim.decomposition(), opt);
+      for (int s = 0; s < cfg.steps; ++s) {
+        sim_cpu.start();
+        sim.step();
+        sim_cpu.stop();
+        pipe.submit(sim.step_index(), sim.local_tess_particles());
+      }
+      for (const auto& r : pipe.finish()) {
+        tess_cpu += r.stats.exchange_seconds + r.stats.compute_seconds;
+        write_cpu += r.write_seconds;
+        bytes += r.file_bytes;
+      }
+    } else {
+      core::Tessellator t(c, sim.decomposition(), cfg.tess);
+      for (int s = 0; s < cfg.steps; ++s) {
+        sim_cpu.start();
+        sim.step();
+        sim_cpu.stop();
+        const int step = sim.step_index();
+        auto mesh = t.tessellate_step(step, sim.local_tess_particles());
+        tess_cpu += t.stats().exchange_seconds + t.stats().compute_seconds;
+        util::ThreadCpuTimer w;
+        w.start();
+        std::vector<double> volumes;
+        volumes.reserve(mesh.cells.size());
+        for (const auto& cell : mesh.cells) volumes.push_back(cell.volume);
+        if (!cfg.output_pattern.empty()) {
+          diy::Buffer buf;
+          mesh.serialize(buf);
+          bytes += diy::write_blocks(c, diy::step_path(cfg.output_pattern, step),
+                                     buf);
+        }
+        if (hook) hook(c, step, volumes);
+        w.stop();
+        write_cpu += w.seconds();
+      }
+    }
+    c.barrier();
+    wall.stop();
+
+    const double sim_max = c.allreduce_max(sim_cpu.seconds());
+    const double tess_max = c.allreduce_max(tess_cpu);
+    const double write_max = c.allreduce_max(write_cpu);
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lock(m);
+      result.wall = wall.seconds();
+      result.sim_cpu_max = sim_max;
+      result.tess_cpu_max = tess_max;
+      result.write_cpu_max = write_max;
+      result.steps = cfg.steps;
+      result.file_bytes = bytes;
     }
   });
   return result;

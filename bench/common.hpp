@@ -55,6 +55,58 @@ struct InSituConfig {
 /// in situ tessellation (+ optional parallel write). Blocking.
 InSituResult run_insitu(int nranks, const InSituConfig& cfg);
 
+/// Result of a full in-situ loop (tessellate + write EVERY step), serial
+/// or pipelined. Stage seconds are per-rank thread-CPU critical paths (max
+/// across ranks of each rank's summed stage CPU time) — the distributed
+/// wall-clock model this harness uses on a shared-core host. On such a
+/// host the measured wall serializes all stages in both modes, so overlap
+/// shows up in the *modeled* numbers: the serial loop's modeled wall is
+/// sum(stages), the pipelined loop's is max(stages).
+struct InSituLoopResult {
+  double wall = 0.0;          ///< measured wall of the whole loop
+  double sim_cpu_max = 0.0;   ///< max over ranks: sim-stage CPU seconds
+  double tess_cpu_max = 0.0;  ///< max over ranks: tess-stage CPU seconds
+  double write_cpu_max = 0.0; ///< max over ranks: write-stage CPU seconds
+  int steps = 0;
+  std::uint64_t file_bytes = 0;  ///< sum of per-step blocked-file sizes
+
+  [[nodiscard]] double stage_sum() const {
+    return sim_cpu_max + tess_cpu_max + write_cpu_max;
+  }
+  [[nodiscard]] double stage_max() const {
+    double m = sim_cpu_max;
+    if (tess_cpu_max > m) m = tess_cpu_max;
+    if (write_cpu_max > m) m = write_cpu_max;
+    return m;
+  }
+  /// Modeled speedup of overlapping the three stages (sum/max) — the
+  /// figure of merit the pipeline exists for.
+  [[nodiscard]] double modeled_overlap_speedup() const {
+    const double m = stage_max();
+    return m > 0.0 ? stage_sum() / m : 1.0;
+  }
+  /// Wall-clock overlap efficiency: max(stage)/wall, approaching 1 when
+  /// the slowest stage hides the others (meaningful only with real cores).
+  [[nodiscard]] double overlap_efficiency() const {
+    return wall > 0.0 ? stage_max() / wall : 0.0;
+  }
+};
+
+struct InSituLoopConfig {
+  hacc::SimConfig sim{};
+  core::TessOptions tess{};
+  int steps = 10;              ///< simulation steps, one tessellation each
+  std::string output_pattern;  ///< per-step path pattern ("%d" -> step)
+  std::string stats_path;      ///< jsonl cell-volume stats ("" = off)
+  bool pipelined = false;      ///< false: serial reference loop
+  int queue_depth = 1;
+};
+
+/// Drive the simulation `steps` steps with the tessellation + write after
+/// every step — serial (reference) or through core::InSituPipeline. Both
+/// modes produce byte-identical per-step files.
+InSituLoopResult run_insitu_loop(int nranks, const InSituLoopConfig& cfg);
+
 /// Tessellate a fixed particle set (no simulation) and report the same
 /// result structure; used by the accuracy and scaling benches.
 InSituResult run_standalone(int nranks, const std::vector<diy::Particle>& particles,

@@ -1,6 +1,11 @@
 #include "analysis/insitu_stats.hpp"
 
+#include <memory>
+#include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "diy/blockio.hpp"
 
 namespace tess::analysis {
 
@@ -47,6 +52,48 @@ util::Histogram reduce_histogram(comm::Comm& comm, const util::Histogram& local)
   return util::Histogram::from_state(lo, hi, std::move(merged_counts),
                                      static_cast<std::size_t>(underflow),
                                      static_cast<std::size_t>(overflow), moments);
+}
+
+StepStats reduce_step_stats(comm::Comm& comm, int step,
+                            const std::vector<double>& volumes, double lo,
+                            double hi, std::size_t bins) {
+  StepStats out(step, lo, hi, bins);
+  util::Histogram local(lo, hi, bins);
+  for (double v : volumes) local.add(v);
+  out.volume_hist = reduce_histogram(comm, local);
+  out.volume = out.volume_hist.moments();
+  out.cells = comm.allreduce_sum(static_cast<long long>(volumes.size()));
+  return out;
+}
+
+std::string step_stats_jsonl(const StepStats& s) {
+  std::ostringstream os;
+  os << "{\"step\":" << s.step << ",\"cells\":" << s.cells
+     << ",\"volume\":{\"mean\":" << s.volume.mean()
+     << ",\"stddev\":" << s.volume.stddev()
+     << ",\"min\":" << s.volume.min() << ",\"max\":" << s.volume.max()
+     << ",\"skewness\":" << s.volume.skewness()
+     << ",\"kurtosis\":" << s.volume.kurtosis() << "}"
+     << ",\"hist\":{\"lo\":" << s.volume_hist.lo()
+     << ",\"hi\":" << s.volume_hist.hi()
+     << ",\"underflow\":" << s.volume_hist.underflow()
+     << ",\"overflow\":" << s.volume_hist.overflow() << ",\"counts\":[";
+  for (std::size_t b = 0; b < s.volume_hist.bins(); ++b) {
+    if (b > 0) os << ',';
+    os << s.volume_hist.count(b);
+  }
+  os << "]}}";
+  return os.str();
+}
+
+std::function<void(comm::Comm&, int, const std::vector<double>&)>
+make_stats_streamer(std::string path, double lo, double hi, std::size_t bins) {
+  return [path = std::move(path), lo, hi, bins](
+             comm::Comm& comm, int step, const std::vector<double>& volumes) {
+    const auto stats = reduce_step_stats(comm, step, volumes, lo, hi, bins);
+    if (comm.rank() == 0)
+      diy::append_text_line(path, step_stats_jsonl(stats));
+  };
 }
 
 }  // namespace tess::analysis

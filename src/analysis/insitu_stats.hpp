@@ -5,6 +5,10 @@
 // any particle or cell data leaving the node.
 #pragma once
 
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "comm/comm.hpp"
 #include "util/stats.hpp"
 
@@ -16,5 +20,35 @@ util::Moments reduce_moments(comm::Comm& comm, const util::Moments& local);
 /// Merge per-rank histograms (must share lo/hi/bins); result valid on every
 /// rank.
 util::Histogram reduce_histogram(comm::Comm& comm, const util::Histogram& local);
+
+/// Global cell-volume summary for one simulation step — what the pipeline
+/// streams to disk instead of the mesh itself.
+struct StepStats {
+  int step = 0;
+  long long cells = 0;         ///< global surviving-cell count
+  util::Moments volume;        ///< global volume moments
+  util::Histogram volume_hist; ///< global volume histogram
+
+  StepStats(int step_index, double lo, double hi, std::size_t bins)
+      : step(step_index), volume_hist(lo, hi, bins) {}
+};
+
+/// Collective: bin this rank's cell volumes into [lo, hi) x bins and
+/// reduce across ranks. Result valid on every rank.
+StepStats reduce_step_stats(comm::Comm& comm, int step,
+                            const std::vector<double>& volumes, double lo,
+                            double hi, std::size_t bins);
+
+/// One-line JSON rendering of a StepStats (for append-streaming; one
+/// object per line, jsonl).
+std::string step_stats_jsonl(const StepStats& s);
+
+/// Ready-made pipeline hook (core::PipelineOptions::on_step is exactly
+/// this signature, but the dependency points analysis -> core only at the
+/// call site): reduces the step's cell volumes and, on rank 0, appends one
+/// JSON line per step to `path`. The line order matches step order because
+/// the pipeline's write stage invokes hooks in submission order.
+std::function<void(comm::Comm&, int step, const std::vector<double>& volumes)>
+make_stats_streamer(std::string path, double lo, double hi, std::size_t bins);
 
 }  // namespace tess::analysis

@@ -30,8 +30,34 @@ class Comm {
  public:
   Comm(Context& ctx, int rank) : ctx_(&ctx), rank_(rank) {}
 
+  /// Communicator on a shifted tag plane (see plane()).
+  Comm(Context& ctx, int rank, int tag_shift)
+      : ctx_(&ctx), rank_(rank), tag_shift_(tag_shift) {}
+
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const { return ctx_->size(); }
+
+  /// Derived communicator whose tags (user and internal) are offset by
+  /// `shift` — the moral equivalent of MPI_Comm_dup for concurrent use.
+  /// Messages and collectives on different planes never cross-match, so
+  /// one rank may run collectives on several threads at once as long as
+  /// each thread uses its own plane. Pick shifts so the shifted tag
+  /// ranges don't overlap any plane's in-use tags (multiples of 1000
+  /// comfortably clear every tag this codebase uses). Shifted planes use
+  /// a message-based barrier instead of the context's central one, which
+  /// is shared across all planes.
+  [[nodiscard]] Comm plane(int shift) const {
+    return Comm(*ctx_, rank_, tag_shift_ + shift);
+  }
+
+  [[nodiscard]] int tag_shift() const { return tag_shift_; }
+
+  /// Mark this rank as retired in the shared context: every peer blocked
+  /// waiting on it — on any tag plane, including the central barrier —
+  /// throws RankRetiredError. Used by the in-situ pipeline to cascade a
+  /// stage failure into a clean group-wide shutdown instead of a hang.
+  /// Irreversible for the lifetime of the Context.
+  void retire_self() { ctx_->retire_rank(rank_); }
 
   /// Raw byte send; completes locally (buffered, like MPI_Bsend). The
   /// payload is sequence-stamped by Context::post, and when the fault
@@ -49,14 +75,14 @@ class Comm {
 #if TESS_OBS_ENABLED
     obs::metrics().add_tagged_message(tag, bytes);
 #endif
-    ctx_->post(rank_, dest, tag, std::move(payload));
+    ctx_->post(rank_, dest, tag + tag_shift_, std::move(payload));
   }
 
   /// Blocking raw receive of a message from `source` with `tag`. Throws
   /// RankRetiredError if the peer exits while this rank waits.
   std::vector<std::byte> recv_bytes(int source, int tag) {
     check_rank(source);
-    return ctx_->mailbox(rank_).pop(source, tag).payload;
+    return ctx_->mailbox(rank_).pop(source, tag + tag_shift_).payload;
   }
 
   /// Bounded-wait raw receive: nullopt after `timeout` with no matching
@@ -64,7 +90,7 @@ class Comm {
   std::optional<std::vector<std::byte>> recv_bytes_for(
       int source, int tag, std::chrono::milliseconds timeout) {
     check_rank(source);
-    auto msg = ctx_->mailbox(rank_).pop_for(source, tag, timeout);
+    auto msg = ctx_->mailbox(rank_).pop_for(source, tag + tag_shift_, timeout);
     if (!msg) return std::nullopt;
     return std::move(msg->payload);
   }
@@ -113,7 +139,25 @@ class Comm {
     return v[0];
   }
 
-  void barrier() { ctx_->barrier(rank_); }
+  /// Collective barrier. The primary plane uses the context's central
+  /// barrier; shifted planes use a token exchange over kTagBarrier so
+  /// concurrent barriers on different planes can't interleave through the
+  /// shared counter.
+  void barrier() {
+    if (tag_shift_ == 0) {
+      ctx_->barrier(rank_);
+      return;
+    }
+    if (size() == 1) return;
+    if (rank_ == 0) {
+      for (int r = 1; r < size(); ++r)
+        (void)recv_value<char>(r, kTagBarrier);
+      for (int r = 1; r < size(); ++r) send_value(r, kTagBarrier, char{1});
+    } else {
+      send_value(0, kTagBarrier, char{1});
+      (void)recv_value<char>(0, kTagBarrier);
+    }
+  }
 
   /// Root's vector is copied to every rank.
   template <typename T>
@@ -238,9 +282,11 @@ class Comm {
   static constexpr int kTagGather = -3;
   static constexpr int kTagGatherv = -4;
   static constexpr int kTagScan = -5;
+  static constexpr int kTagBarrier = -6;
 
   Context* ctx_;
   int rank_;
+  int tag_shift_ = 0;
 };
 
 /// Launches a fixed-size group of ranks, each on its own thread, and joins

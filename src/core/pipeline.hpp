@@ -1,0 +1,173 @@
+// Asynchronous in-situ pipeline: overlap simulation, tessellation, and
+// write-behind I/O (DESIGN.md §4.10).
+//
+// The paper's in-situ loop is serial per step: advance the simulation,
+// tessellate, write. This subsystem turns it into a three-stage pipeline
+// per rank:
+//
+//   caller thread   : simulation step N+1, then submit(N+1, snapshot)
+//   tess thread     : Voronoi tessellation of step N
+//   write thread    : blocked-file write + analysis hook for step N-1
+//
+// Stages hand off through bounded queues (util/bounded_queue.hpp), so at
+// most queue_depth snapshots wait per edge and a slow stage backpressures
+// its producer instead of growing memory. Because every rank runs the same
+// three stages and the queues preserve submission order, each stage plane
+// executes its collectives in the same order on every rank — the
+// correctness condition for running collectives concurrently. Cross-plane
+// isolation comes from tag-shifted communicators (comm::Comm::plane): the
+// tess stage runs on tag plane +1000, the write stage on +2000, so their
+// messages and barriers can never match the simulation's.
+//
+// Determinism: the tessellation and the blocked-file writer are already
+// byte-deterministic (ordered shard merge, exscan offsets), and the
+// pipeline adds no reordering, so per-step output files are byte-identical
+// to the serial tessellate+write path.
+//
+// Failure: if any stage throws (including injected faults — CommTimeout,
+// FaultKill — surfacing as comm errors), the pipeline records the first
+// error, retires its rank in the shared comm context so peers blocked on
+// it in ANY plane throw RankRetiredError instead of hanging, closes both
+// queues, and rethrows from the next submit()/finish() on this rank. The
+// destructor follows the same retire-before-join path when the caller
+// unwinds without finish(), so a group-wide abort converges instead of
+// deadlocking across planes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/block_mesh.hpp"
+#include "core/options.hpp"
+#include "core/tessellator.hpp"
+#include "diy/decomposition.hpp"
+#include "diy/particle.hpp"
+#include "diy/serialize.hpp"
+#include "util/bounded_queue.hpp"
+
+namespace tess::core {
+
+/// What the pipeline produced for one submitted step, on this rank.
+struct PipelineStepResult {
+  int step = 0;
+  TessStats stats;                  ///< this rank's tessellation stats
+  std::string path;                 ///< output file ("" if writing disabled)
+  std::uint64_t file_bytes = 0;     ///< total blocked-file size
+  /// Write-stage thread-CPU seconds for this step (file write + hook) —
+  /// the critical-path model used by the benches (util/timer.hpp).
+  double write_seconds = 0.0;
+  std::vector<double> cell_volumes; ///< per-cell Voronoi volumes (this rank)
+  std::optional<BlockMesh> mesh;    ///< retained when keep_meshes is set
+};
+
+struct PipelineOptions {
+  TessOptions tess;
+
+  /// Per-step blocked-file path pattern ("%d" -> step, see
+  /// diy::step_path). Empty disables the file write (tessellation and the
+  /// hook still run).
+  std::string output_pattern;
+
+  /// Max snapshots waiting per queue edge (>=1). Total in-flight snapshots
+  /// per rank is bounded by 2*queue_depth + 3: queue_depth per edge, one
+  /// per stage in execution, and one blocked in submit() when the head
+  /// queue is full.
+  int queue_depth = 1;
+
+  /// Keep each step's BlockMesh in its PipelineStepResult. Off by default:
+  /// meshes are big, and in situ the point is NOT to keep them.
+  bool keep_meshes = false;
+
+  /// Runs on the write thread after each step's file write, with the
+  /// write-plane communicator — the hook may do collectives (e.g.
+  /// analysis::reduce_step_stats); every rank's pipeline invokes it for
+  /// the same steps in the same order. Exceptions thrown here abort the
+  /// pipeline like any stage failure.
+  using StepHook =
+      std::function<void(comm::Comm&, const PipelineStepResult&)>;
+  StepHook on_step;
+};
+
+/// Collective: construct one pipeline per rank, with the SAME options and
+/// the simulation's decomposition. submit() and finish() are collective in
+/// the pipelined sense — every rank must submit the same sequence of steps
+/// and finish together.
+class InSituPipeline {
+ public:
+  InSituPipeline(comm::Comm& comm, const diy::Decomposition& decomp,
+                 PipelineOptions options);
+  ~InSituPipeline();
+
+  InSituPipeline(const InSituPipeline&) = delete;
+  InSituPipeline& operator=(const InSituPipeline&) = delete;
+
+  /// Hand a particle snapshot to the pipeline. Returns as soon as the
+  /// snapshot is queued; blocks (span "pipeline.stall.submit") when
+  /// queue_depth snapshots already wait for the tessellation stage.
+  /// Rethrows the first stage error, from any prior step, on this rank.
+  void submit(int step, std::vector<diy::Particle> particles);
+
+  /// Drain both stages, join the stage threads, and return the per-step
+  /// results in submission order. Rethrows the first stage error.
+  std::vector<PipelineStepResult> finish();
+
+  /// High-water mark of snapshots simultaneously in flight on this rank
+  /// (submitted but not yet fully written). Stable after finish().
+  [[nodiscard]] int max_in_flight() const { return max_in_flight_; }
+
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
+
+ private:
+  struct TessItem {
+    int step = 0;
+    std::vector<diy::Particle> particles;
+  };
+  struct WriteItem {
+    int step = 0;
+    TessStats stats;
+    diy::Buffer block;
+    std::vector<double> volumes;
+    std::optional<BlockMesh> mesh;
+  };
+
+  void tess_loop();
+  void write_loop();
+  /// Record the first error, retire this rank (waking peers blocked on it
+  /// in every plane), and close both queues.
+  void fail(std::exception_ptr error);
+  void rethrow_if_failed();
+
+  comm::Comm* comm_;
+  PipelineOptions options_;
+  comm::Comm tess_comm_;   ///< tag plane +1000
+  comm::Comm write_comm_;  ///< tag plane +2000
+  Tessellator tess_;
+
+  util::BoundedQueue<TessItem> tess_in_;
+  util::BoundedQueue<WriteItem> write_in_;
+
+  std::thread tess_thread_;
+  std::thread write_thread_;
+
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;  ///< guarded by error_mutex_
+  std::mutex error_mutex_;
+
+  bool finished_ = false;       ///< caller thread only
+  std::atomic<int> in_flight_{0};
+  int max_in_flight_ = 0;       ///< written by the caller thread only
+
+  /// Written by the write thread, read by the caller after the joins in
+  /// finish() — the join is the synchronization point.
+  std::vector<PipelineStepResult> results_;
+};
+
+}  // namespace tess::core

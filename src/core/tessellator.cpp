@@ -66,6 +66,16 @@ BlockMesh Tessellator::tessellate(const std::vector<diy::Particle>& mine) {
   return mesh;
 }
 
+BlockMesh Tessellator::tessellate_step(int step,
+                                       std::vector<diy::Particle> particles) {
+  TESS_SPAN_ARG("tess.step", step);
+  // Own the snapshot for the whole pass: incremental auto-ghost retries
+  // re-read `mine` after the exchange, so it must stay alive and stable
+  // even though the caller (the pipeline's simulation thread) has moved on.
+  retained_ = std::move(particles);
+  return tessellate(retained_);
+}
+
 BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
   // Automatic ghost-size determination (paper §V future work): repeat with
   // a doubled ghost zone until every cell is both complete and certified by

@@ -100,6 +100,14 @@ class Tessellator {
   /// particles.
   BlockMesh tessellate(const std::vector<diy::Particle>& mine);
 
+  /// tessellate() for pipelined in-situ use: takes ownership of the
+  /// particle snapshot, so the caller's simulation buffer is free to
+  /// evolve (or be destroyed) while this pass — and any incremental
+  /// auto-ghost passes referencing the snapshot — runs on another thread.
+  /// The snapshot is retained until the next tessellate_step(). The span
+  /// is tagged with `step` so overlapped traces stay attributable.
+  BlockMesh tessellate_step(int step, std::vector<diy::Particle> particles);
+
   /// Parallel write of this rank's mesh to one shared file. Collective.
   /// Returns total file bytes; accumulates the output timing into stats().
   std::uint64_t write(const std::string& path, const BlockMesh& mesh);
@@ -127,6 +135,8 @@ class Tessellator {
   /// Intra-rank worker pool for the per-cell loop (options.threads; owned
   /// by this rank, so total threads stay bounded by ranks x threads).
   std::unique_ptr<util::ThreadPool> pool_;
+  /// Snapshot owned by the last tessellate_step() (empty otherwise).
+  std::vector<diy::Particle> retained_;
 };
 
 }  // namespace tess::core

@@ -24,8 +24,24 @@ inline constexpr std::uint64_t kBlockFileMagic = 0x54455353424c4b31ULL;  // "TES
 
 /// Collective write: rank r contributes `block` as block r of `nranks`.
 /// Returns the total file size in bytes (valid on every rank).
+///
+/// Thread-safe in the write-behind sense: the call only touches `comm`,
+/// `path`, and `block`, so a dedicated writer thread per rank (each with
+/// its own tag-plane Comm, see core/pipeline.hpp) can run one collective
+/// write per step while other threads of the same ranks simulate and mesh
+/// — as long as any one plane issues its collectives in the same order on
+/// every rank, which the pipeline's in-order queues guarantee.
 std::uint64_t write_blocks(comm::Comm& comm, const std::string& path,
                            const Buffer& block);
+
+/// Expand a per-step output path: replaces the first "%d" in `pattern`
+/// with the decimal step, or appends ".step<N>" if no placeholder.
+std::string step_path(const std::string& pattern, int step);
+
+/// Append one line (a trailing '\n' is added) to `path` atomically via
+/// O_APPEND — safe against concurrent appenders, used for streaming
+/// per-step in-situ stats. Not collective.
+void append_text_line(const std::string& path, const std::string& line);
 
 /// Reader for a blocked file; not collective.
 class BlockFileReader {

@@ -20,8 +20,8 @@ void PMSolver::deposit(const std::vector<SimParticle>& particles, double mass,
   if (density.size() != cells())
     throw std::invalid_argument("PMSolver::deposit: grid size mismatch");
   const auto mask = static_cast<std::ptrdiff_t>(n) - 1;
-  for (const auto& p : particles) {
   TESS_SPAN("hacc.cic_deposit");
+  for (const auto& p : particles) {
     // Cell-centered CIC: the particle shares mass with the 8 nearest cell
     // centers (cell i has center i + 0.5).
     const double gx = p.pos.x - 0.5, gy = p.pos.y - 0.5, gz = p.pos.z - 0.5;
@@ -80,13 +80,13 @@ std::vector<double> PMSolver::potential(const std::vector<double>& density,
 
 std::array<std::vector<double>, 3> PMSolver::solve_forces(
     const std::vector<double>& density, double a) const {
+  TESS_SPAN("hacc.solve_forces");
   const auto n = static_cast<std::size_t>(ng_);
   const auto phi = potential(density, a);
 
   std::array<std::vector<double>, 3> acc;
   for (auto& g : acc) g.resize(phi.size());
   auto at = [&](std::size_t x, std::size_t y, std::size_t z) {
-  TESS_SPAN("hacc.solve_forces");
     return phi[(z * n + y) * n + x];
   };
   const std::size_t m = n - 1;  // power-of-two wrap mask

@@ -56,7 +56,7 @@ std::vector<double> Simulation::reduce_density() const {
 }
 
 void Simulation::step() {
-  TESS_SPAN("hacc.step");
+  TESS_SPAN_ARG("hacc.step", step_);
   TESS_COUNT("hacc.steps", 1);
   const double da = cfg_.delta_a();
 

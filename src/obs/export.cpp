@@ -112,7 +112,9 @@ std::string chrome_trace_json(const TraceDump& dump) {
          << "\",\"ts\":" << fmt_double(static_cast<double>(span.t0_ns) * 1e-3)
          << ",\"dur\":"
          << fmt_double(static_cast<double>(span.t1_ns - span.t0_ns) * 1e-3)
-         << ",\"args\":{\"depth\":" << span.depth << "}}";
+         << ",\"args\":{\"depth\":" << span.depth;
+      if (span.arg != kSpanNoArg) os << ",\"arg\":" << span.arg;
+      os << "}}";
     }
   }
   os << "\n]}\n";

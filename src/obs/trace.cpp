@@ -26,9 +26,10 @@ class ThreadBuffer {
       : ring_(cap > 0 ? cap : 1), rank_(rank), lane_(lane) {}
 
   void push(const char* name, std::uint64_t t0, std::uint64_t t1,
-            std::uint32_t depth) {
+            std::uint32_t depth, std::int64_t arg) {
     const std::uint64_t c = count_.load(std::memory_order_relaxed);
-    ring_[static_cast<std::size_t>(c % ring_.size())] = {name, t0, t1, depth};
+    ring_[static_cast<std::size_t>(c % ring_.size())] = {name, t0, t1, depth,
+                                                         arg};
     count_.store(c + 1, std::memory_order_release);
   }
 
@@ -125,10 +126,10 @@ std::uint64_t span_enter() {
   return now_ns();
 }
 
-void span_exit(const char* name, std::uint64_t t0) {
+void span_exit(const char* name, std::uint64_t t0, std::int64_t arg) {
   ThreadBuffer& b = local_buffer();
   const std::uint32_t d = --b.depth;
-  b.push(name, t0, now_ns(), d);
+  b.push(name, t0, now_ns(), d, arg);
 }
 
 bool peek_lanes(int max_spans,

@@ -39,12 +39,20 @@ namespace tess::obs {
 void set_thread_rank(int rank);
 [[nodiscard]] int thread_rank();
 
+/// Sentinel for SpanRecord::arg: the span carries no argument.
+inline constexpr std::int64_t kSpanNoArg = INT64_MIN;
+
 /// One completed span. `name` must be a string literal (interned pointer).
 struct SpanRecord {
   const char* name = nullptr;
   std::uint64_t t0_ns = 0;
   std::uint64_t t1_ns = 0;
   std::uint32_t depth = 0;  ///< nesting depth within the thread (0 = root)
+  /// Optional integer tag (e.g. the simulation step index) — kSpanNoArg
+  /// when absent. Aggregation still keys on `name`; the tag is exported
+  /// per-event in the chrome trace so overlapping pipeline stages can be
+  /// matched to the step they process.
+  std::int64_t arg = kSpanNoArg;
 };
 
 /// Drained view of one thread's ring buffer: the lane of one rank×thread.
@@ -73,7 +81,8 @@ namespace detail {
 /// Bump the calling thread's span depth and return the start timestamp.
 std::uint64_t span_enter();
 /// Pop the depth and record the completed span in the thread's ring.
-void span_exit(const char* name, std::uint64_t t0);
+void span_exit(const char* name, std::uint64_t t0,
+               std::int64_t arg = kSpanNoArg);
 /// Flight-recorder peek: invoke `fn` on the most recent `max_spans` records
 /// of every registered lane (oldest first; negative = all), without
 /// draining or allocating. With `try_only` it backs off instead of blocking
@@ -121,14 +130,14 @@ class Tracer {
 /// compiles out with the instrumentation.
 class Span {
  public:
-  explicit Span(const char* name) {
+  explicit Span(const char* name, std::int64_t arg = kSpanNoArg) : arg_(arg) {
     if (Tracer::instance().enabled()) {
       name_ = name;
       t0_ = detail::span_enter();
     }
   }
   ~Span() {
-    if (name_ != nullptr) detail::span_exit(name_, t0_);
+    if (name_ != nullptr) detail::span_exit(name_, t0_, arg_);
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
@@ -136,6 +145,7 @@ class Span {
  private:
   const char* name_ = nullptr;
   std::uint64_t t0_ = 0;
+  std::int64_t arg_ = kSpanNoArg;
 };
 
 #define TESS_OBS_CONCAT2(a, b) a##b
@@ -146,8 +156,15 @@ class Span {
 /// string literal (or a select between literals).
 #define TESS_SPAN(name) \
   ::tess::obs::Span TESS_OBS_CONCAT(tess_obs_span_, __LINE__){name}
+/// Like TESS_SPAN, but tags the span with an integer argument (e.g. a step
+/// index) exported per-event in the chrome trace.
+#define TESS_SPAN_ARG(name, arg)                         \
+  ::tess::obs::Span TESS_OBS_CONCAT(tess_obs_span_,      \
+                                    __LINE__){name,      \
+                                              static_cast<std::int64_t>(arg)}
 #else
 #define TESS_SPAN(name) static_cast<void>(0)
+#define TESS_SPAN_ARG(name, arg) static_cast<void>(0)
 #endif
 
 }  // namespace tess::obs

@@ -1,0 +1,110 @@
+// Bounded blocking hand-off queue for pipeline stages.
+//
+// A BoundedQueue carries snapshots between the stages of the in-situ
+// pipeline (core/pipeline.hpp): the producer blocks when the queue is at
+// capacity (backpressure — the pipeline holds at most `capacity` snapshots
+// per edge in flight) and the consumer blocks while it is empty. close()
+// wakes everyone: pushes start failing and pops drain what is left, then
+// return nullopt, which is the normal end-of-stream signal as well as the
+// abort path.
+//
+// Instrumentation: time spent blocked is recorded under the stall span
+// names given at construction (string literals, as required by the
+// tracer), and the queue depth is published to a gauge after every push
+// and pop, so a trace shows exactly where the pipeline is starved or
+// backed up.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tess::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `stall_push_span` / `stall_pop_span` must be string literals (tracer
+  /// requirement); `depth_gauge` is resolved against the metric registry
+  /// once, here, so the hot path never does a name lookup.
+  BoundedQueue(std::size_t capacity, const char* stall_push_span,
+               const char* stall_pop_span, std::string_view depth_gauge)
+      : cap_(capacity > 0 ? capacity : 1),
+        stall_push_(stall_push_span),
+        stall_pop_(stall_pop_span),
+        depth_(obs::metrics().gauge(depth_gauge)) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+  /// Blocks while the queue is full. Returns false (dropping `item`) if
+  /// the queue is or becomes closed before space frees up.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.size() >= cap_ && !closed_) {
+      obs::Span stall(stall_push_);
+      not_full_.wait(lock,
+                     [&] { return items_.size() < cap_ || closed_; });
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    depth_.set(static_cast<double>(items_.size()));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and open. Returns nullopt once the
+  /// queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty() && !closed_) {
+      obs::Span stall(stall_pop_);
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    depth_.set(static_cast<double>(items_.size()));
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Idempotent. Blocked pushers return false; blocked poppers drain the
+  /// remaining items and then get nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t cap_;
+  const char* stall_push_;
+  const char* stall_pop_;
+  obs::Gauge& depth_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tess::util

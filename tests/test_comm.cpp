@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "comm/comm.hpp"
@@ -182,4 +183,64 @@ TEST(Comm, ExceptionPropagates) {
 
 TEST(Comm, InvalidRankCountThrows) {
   EXPECT_THROW(Runtime::run(0, [](Comm&) {}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Tag planes: derived communicators for concurrent collectives
+// ---------------------------------------------------------------------------
+
+TEST(CommPlane, ShiftedTagsDoNotCrossThePrimaryPlane) {
+  Runtime::run(2, [](Comm& c) {
+    Comm p = c.plane(1000);
+    EXPECT_EQ(p.tag_shift(), 1000);
+    if (c.rank() == 0) {
+      // Same user tag on both planes; each receiver must get its own.
+      c.send_value(1, 5, 111);
+      p.send_value(1, 5, 222);
+    } else {
+      EXPECT_EQ(p.recv_value<int>(0, 5), 222);
+      EXPECT_EQ(c.recv_value<int>(0, 5), 111);
+    }
+  });
+}
+
+TEST(CommPlane, ShiftedBarrierSynchronizes) {
+  Runtime::run(4, [](Comm& c) {
+    Comm p = c.plane(1000);
+    static std::atomic<int> arrivals{0};
+    if (c.rank() == 0) arrivals = 0;
+    c.barrier();
+    arrivals.fetch_add(1);
+    p.barrier();
+    EXPECT_EQ(arrivals.load(), 4) << "shifted barrier released early";
+    c.barrier();
+  });
+}
+
+TEST(CommPlane, ConcurrentCollectivesOnSeparatePlanes) {
+  // Each rank runs collectives on the primary plane while a second thread
+  // of the same rank runs collectives on a shifted plane — the in-situ
+  // pipeline's structure. Cross-matching would corrupt results or hang.
+  Runtime::run(4, [](Comm& c) {
+    Comm p = c.plane(1000);
+    std::thread side([&p] {
+      for (int i = 0; i < 25; ++i) {
+        EXPECT_EQ(p.allreduce_sum(i), i * p.size());
+        p.barrier();
+      }
+    });
+    for (int i = 0; i < 25; ++i) {
+      EXPECT_EQ(c.allreduce_sum(10 * i), 10 * i * c.size());
+      c.barrier();
+    }
+    side.join();
+  });
+}
+
+TEST(CommPlane, NestedPlanesCompose) {
+  Runtime::run(2, [](Comm& c) {
+    Comm p = c.plane(1000).plane(1000);
+    EXPECT_EQ(p.tag_shift(), 2000);
+    EXPECT_EQ(p.allreduce_sum(c.rank()), 1);
+  });
 }
