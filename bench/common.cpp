@@ -1,5 +1,6 @@
 #include "common.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 
@@ -16,7 +17,35 @@ const char* obs_export_prefix() { return std::getenv("TESS_OBS_EXPORT"); }
 
 }  // namespace
 
+const char* build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+void warn_if_debug_build() {
+#ifndef NDEBUG
+  static std::once_flag warned;
+  std::call_once(warned, [] {
+    std::fprintf(
+        stderr,
+        "\n"
+        "========================================================================\n"
+        "  WARNING: this benchmark binary is a DEBUG build (NDEBUG not set).\n"
+        "  Its numbers are NOT comparable to release builds and MUST NOT be\n"
+        "  committed as a perf baseline. Rebuild with -DCMAKE_BUILD_TYPE=Release\n"
+        "  before recording BENCH_*.json files; tools/obs_compare flags any\n"
+        "  summary whose tess_build_type context says \"debug\".\n"
+        "========================================================================\n"
+        "\n");
+  });
+#endif
+}
+
 bool obs_begin_from_env() {
+  warn_if_debug_build();
   const char* prefix = obs_export_prefix();
   if (prefix == nullptr || *prefix == '\0') return false;
   obs_begin(prefix);
@@ -24,6 +53,7 @@ bool obs_begin_from_env() {
 }
 
 std::string obs_begin(const std::string& default_prefix) {
+  warn_if_debug_build();
   obs::Tracer::instance().set_enabled(true);
   obs::Tracer::instance().clear();
   obs::metrics().reset();

@@ -118,6 +118,17 @@ InSituResult run_standalone(int nranks, const std::vector<diy::Particle>& partic
 /// reuse one snapshot across many tessellation configurations).
 std::vector<diy::Particle> evolve_snapshot(const hacc::SimConfig& cfg, int steps);
 
+/// Build type this bench binary was compiled as: "release" when NDEBUG is
+/// defined, "debug" otherwise. Benches stamp it into their benchmark JSON
+/// context (key "tess_build_type") so tools/obs_compare can refuse to trust
+/// debug-build numbers.
+[[nodiscard]] const char* build_type();
+
+/// Print a loud stderr banner (once per process) when this binary is a
+/// debug build: debug bench numbers are meaningless as baselines, and a
+/// silently committed debug baseline poisons the perf-regression gate.
+void warn_if_debug_build();
+
 /// Observability hooks, driven by the TESS_OBS_EXPORT environment variable.
 /// When it holds a path prefix, obs_begin_from_env() turns the tracer on and
 /// resets the metrics registry; returns whether exporting is active.

@@ -4,6 +4,8 @@
 // pass that orders vertices into faces and computes volume/area (§III-C).
 #pragma once
 
+#include "geom/backend.hpp"
+
 namespace tess::core {
 
 struct TessOptions {
@@ -58,6 +60,15 @@ struct TessOptions {
   /// by ranks x threads. The mesh produced is byte-identical for any value:
   /// cells are computed in fixed chunks and merged in site order.
   int threads = 1;
+
+  /// Geometry backend for the per-cell clip loop: kScalar sweeps candidates
+  /// one at a time, kSimd runs the batched filters four lanes wide. kAuto
+  /// (default) resolves via the TESS_GEOM_BACKEND environment variable
+  /// ("scalar"/"simd", default scalar) — the env override applies only to
+  /// kAuto, so an explicit choice here always wins. Every backend produces
+  /// byte-identical meshes (enforced by the parity suite); this is purely a
+  /// performance switch.
+  geom::TessBackend backend = geom::TessBackend::kAuto;
 };
 
 }  // namespace tess::core

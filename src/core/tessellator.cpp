@@ -8,6 +8,7 @@
 #include "diy/blockio.hpp"
 #include "geom/cell_builder.hpp"
 #include "geom/convex_hull.hpp"
+#include "geom/predicates.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -26,8 +27,45 @@ Tessellator::Tessellator(comm::Comm& comm, const diy::Decomposition& decomp,
     : comm_(&comm),
       decomp_(&decomp),
       options_(options),
+      backend_(geom::resolve_backend(options.backend)),
       exchanger_(comm, decomp),
       pool_(std::make_unique<util::ThreadPool>(options.threads)) {}
+
+namespace {
+
+/// Emit the per-pass geom.backend.* metrics from the builder's counter
+/// deltas — on every run, not just parity runs, so production traces always
+/// carry the filter hit rate, batch occupancy, and exact-fallback rate.
+void emit_backend_metrics(geom::TessBackend backend,
+                          const geom::CellBuilder::BackendStats& before,
+                          const geom::CellBuilder::BackendStats& after,
+                          std::uint64_t cuts_delta,
+                          unsigned long long exact_before) {
+  const std::uint64_t seen = after.cand_seen - before.cand_seen;
+  const std::uint64_t kept = after.cand_kept - before.cand_kept;
+  const std::uint64_t batches = after.batches - before.batches;
+  const std::uint64_t lanes = after.lanes - before.lanes;
+  const unsigned long long exact = geom::exact_fallback_count() - exact_before;
+  TESS_COUNT("geom.backend.cand_seen", seen);
+  TESS_COUNT("geom.backend.cand_kept", kept);
+  TESS_COUNT("geom.backend.batches", batches);
+  TESS_COUNT("geom.exact_fallbacks", exact);
+  TESS_GAUGE_SET("geom.backend.simd",
+                 backend == geom::TessBackend::kSimd ? 1.0 : 0.0);
+  if (seen > 0)
+    TESS_GAUGE_SET("geom.backend.filter_hit_rate",
+                   static_cast<double>(kept) / static_cast<double>(seen));
+  if (batches > 0)
+    TESS_GAUGE_SET("geom.backend.batch_occupancy",
+                   static_cast<double>(lanes) /
+                       (4.0 * static_cast<double>(batches)));
+  if (cuts_delta > 0)
+    TESS_GAUGE_SET("geom.exact_fallback_rate",
+                   static_cast<double>(exact) /
+                       static_cast<double>(cuts_delta));
+}
+
+}  // namespace
 
 void TessStats::finalize_from_iterations() {
   ghost_sent = 0;
@@ -216,7 +254,8 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
       ids.push_back(g.id);
     }
     if (fresh) {
-      builder.emplace(std::move(pts), std::move(ids), seed.min, seed.max);
+      builder.emplace(std::move(pts), std::move(ids), seed.min, seed.max,
+                      backend_);
       pending.resize(n);
       for (std::size_t i = 0; i < n; ++i) pending[i] = i;
     } else {
@@ -238,6 +277,8 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
     };
     std::vector<ChunkStat> chunk_stats(num_chunks);
     const std::uint64_t cuts_before = builder->cuts_attempted();
+    const auto backend_stats_before = builder->backend_stats();
+    const auto exact_before = geom::exact_fallback_count();
     timer.stop();
 
     TESS_SPAN("tess.build_cells");
@@ -280,7 +321,7 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
             double volume = cell.volume();
             double area = cell.area();
             if (options_.hull_pass) {
-              const auto hull = geom::convex_hull(cell.vertices());
+              const auto hull = geom::convex_hull(cell.vertices(), backend_);
               if (!hull.degenerate) {
                 volume = hull.volume;
                 area = hull.area;
@@ -320,6 +361,9 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
     TESS_COUNT("tess.ghost_received", iter.ghost_received);
     TESS_COUNT("tess.cells_built", np);
     TESS_COUNT("geom.cuts", builder->cuts_attempted() - cuts_before);
+    emit_backend_metrics(backend_, backend_stats_before,
+                         builder->backend_stats(),
+                         builder->cuts_attempted() - cuts_before, exact_before);
 
     stats_.exchange_seconds += iter.exchange_seconds;
     stats_.compute_seconds += iter.compute_seconds;
@@ -440,7 +484,10 @@ BlockMesh Tessellator::tessellate_once(const std::vector<diy::Particle>& mine,
     pts.push_back(g.pos);
     ids.push_back(g.id);
   }
-  geom::CellBuilder builder(std::move(pts), std::move(ids), seed.min, seed.max);
+  geom::CellBuilder builder(std::move(pts), std::move(ids), seed.min, seed.max,
+                            backend_);
+  const auto backend_stats_before = builder.backend_stats();
+  const auto exact_before = geom::exact_fallback_count();
 
   // Early-cull bound: a cell whose largest vertex separation is below the
   // diameter of the sphere of volume `min_volume` cannot reach the
@@ -517,7 +564,7 @@ BlockMesh Tessellator::tessellate_once(const std::vector<diy::Particle>& mine,
             if (options_.hull_pass) {
               // Paper-faithful step: order the cell's vertices into faces via
               // the convex hull and take volume/area from it.
-              const auto hull = geom::convex_hull(cell.vertices());
+              const auto hull = geom::convex_hull(cell.vertices(), backend_);
               if (!hull.degenerate) {
                 volume = hull.volume;
                 area = hull.area;
@@ -559,6 +606,8 @@ BlockMesh Tessellator::tessellate_once(const std::vector<diy::Particle>& mine,
   stats_.compute_seconds =
       timer.seconds() + loop_cpu / static_cast<double>(nthreads);
   TESS_COUNT("geom.cuts", builder.cuts_attempted());
+  emit_backend_metrics(backend_, backend_stats_before, builder.backend_stats(),
+                       builder.cuts_attempted(), exact_before);
   return mesh;
 }
 

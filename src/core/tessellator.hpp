@@ -26,6 +26,7 @@
 #include "comm/comm.hpp"
 #include "core/block_mesh.hpp"
 #include "core/options.hpp"
+#include "geom/backend.hpp"
 #include "diy/decomposition.hpp"
 #include "diy/exchange.hpp"
 #include "diy/particle.hpp"
@@ -130,6 +131,9 @@ class Tessellator {
   comm::Comm* comm_;
   const diy::Decomposition* decomp_;
   TessOptions options_;
+  /// options_.backend resolved once at construction (kAuto collapsed via
+  /// TESS_GEOM_BACKEND), so one tessellation never mixes backends.
+  geom::TessBackend backend_ = geom::TessBackend::kScalar;
   diy::Exchanger exchanger_;
   TessStats stats_;
   /// Intra-rank worker pool for the per-cell loop (options.threads; owned

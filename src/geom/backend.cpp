@@ -1,0 +1,40 @@
+#include "geom/backend.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tess::geom {
+
+namespace {
+
+TessBackend backend_from_env() {
+  const char* env = std::getenv("TESS_GEOM_BACKEND");
+  if (env == nullptr) return TessBackend::kScalar;
+  if (std::strcmp(env, "simd") == 0) return TessBackend::kSimd;
+  if (std::strcmp(env, "scalar") == 0) return TessBackend::kScalar;
+  return TessBackend::kScalar;
+}
+
+}  // namespace
+
+TessBackend resolve_backend(TessBackend requested) {
+  if (requested != TessBackend::kAuto) return requested;
+  // Read once: the choice must not flip mid-run if a test mutates the
+  // environment, and getenv is not reentrant against setenv.
+  static const TessBackend from_env = backend_from_env();
+  return from_env;
+}
+
+const char* to_string(TessBackend b) {
+  switch (b) {
+    case TessBackend::kAuto:
+      return "auto";
+    case TessBackend::kScalar:
+      return "scalar";
+    case TessBackend::kSimd:
+      return "simd";
+  }
+  return "unknown";
+}
+
+}  // namespace tess::geom

@@ -2,16 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "geom/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/simd.hpp"
 
 namespace tess::geom {
 
 CellBuilder::CellBuilder(std::vector<Vec3> points, std::vector<std::int64_t> ids,
-                         const Vec3& bounds_min, const Vec3& bounds_max)
-    : points_(std::move(points)), ids_(std::move(ids)), lo_(bounds_min), hi_(bounds_max) {
+                         const Vec3& bounds_min, const Vec3& bounds_max,
+                         TessBackend backend)
+    : points_(std::move(points)),
+      ids_(std::move(ids)),
+      lo_(bounds_min),
+      hi_(bounds_max),
+      backend_(resolve_backend(backend)) {
   if (!ids_.empty() && ids_.size() != points_.size())
     throw std::invalid_argument("CellBuilder: ids/points size mismatch");
   rebuild_grid(target_per_dim(points_.size()));
@@ -31,14 +39,37 @@ void CellBuilder::rebuild_grid(int per_dim) {
     const double extent = hi_[static_cast<std::size_t>(a)] - lo_[static_cast<std::size_t>(a)];
     h_[a] = extent > 0.0 ? extent / per_dim : 1.0;
   }
+  point_bin_.resize(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    point_bin_[i] = bin_of(points_[i]);
+  fill_csr();
+}
+
+void CellBuilder::fill_csr() {
+  const std::size_t n = points_.size();
   const std::size_t nbins = static_cast<std::size_t>(nb_[0]) *
                             static_cast<std::size_t>(nb_[1]) *
                             static_cast<std::size_t>(nb_[2]);
-  for (auto& b : bins_) b.clear();  // keep per-bin capacity across rebuilds
-  bins_.resize(nbins);
-  for (int i = 0; i < static_cast<int>(points_.size()); ++i)
-    bins_[static_cast<std::size_t>(bin_of(points_[static_cast<std::size_t>(i)]))]
-        .push_back(i);
+  bin_offsets_.assign(nbins + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    ++bin_offsets_[static_cast<std::size_t>(point_bin_[i]) + 1];
+  for (std::size_t b = 0; b < nbins; ++b) bin_offsets_[b + 1] += bin_offsets_[b];
+
+  bin_items_.resize(n);
+  csr_x_.resize(n);
+  csr_y_.resize(n);
+  csr_z_.resize(n);
+  csr_cursor_.assign(bin_offsets_.begin(), bin_offsets_.end() - 1);
+  // Stable within a bin: slots fill in increasing point index, matching the
+  // append order of the old per-bin vectors.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto slot = static_cast<std::size_t>(
+        csr_cursor_[static_cast<std::size_t>(point_bin_[i])]++);
+    bin_items_[slot] = static_cast<int>(i);
+    csr_x_[slot] = points_[i].x;
+    csr_y_[slot] = points_[i].y;
+    csr_z_[slot] = points_[i].z;
+  }
 }
 
 void CellBuilder::add_points(const std::vector<Vec3>& points,
@@ -51,7 +82,7 @@ void CellBuilder::add_points(const std::vector<Vec3>& points,
       (!ids_.empty() && ids.empty() && !points.empty()))
     throw std::invalid_argument("CellBuilder: id presence must match construction");
 
-  const int first_new = static_cast<int>(points_.size());
+  const std::size_t first_new = points_.size();
   points_.insert(points_.end(), points.begin(), points.end());
   ids_.insert(ids_.end(), ids.begin(), ids.end());
 
@@ -71,9 +102,12 @@ void CellBuilder::add_points(const std::vector<Vec3>& points,
   if (box_grew || per_dim != nb_[0]) {
     rebuild_grid(per_dim);
   } else {
-    for (int i = first_new; i < static_cast<int>(points_.size()); ++i)
-      bins_[static_cast<std::size_t>(bin_of(points_[static_cast<std::size_t>(i)]))]
-          .push_back(i);
+    // Geometry unchanged: bin only the new points, then re-run the counting
+    // sort over cached assignments (O(n), reusing every buffer).
+    point_bin_.resize(points_.size());
+    for (std::size_t i = first_new; i < points_.size(); ++i)
+      point_bin_[i] = bin_of(points_[i]);
+    fill_csr();
   }
 }
 
@@ -97,9 +131,25 @@ VoronoiCell CellBuilder::build(int site, const Vec3& box_min,
 
 void CellBuilder::build_into(VoronoiCell& cell, ClipScratch& scratch, int site,
                              const Vec3& box_min, const Vec3& box_max) const {
+  build_impl(cell, scratch, site, box_min, box_max, nullptr);
+}
+
+void CellBuilder::build_traced(VoronoiCell& cell, ClipScratch& scratch,
+                               int site, const Vec3& box_min,
+                               const Vec3& box_max, CellTrace& trace) const {
+  trace.candidates.clear();
+  trace.cut_ids.clear();
+  build_impl(cell, scratch, site, box_min, box_max, &trace);
+}
+
+void CellBuilder::build_impl(VoronoiCell& cell, ClipScratch& scratch, int site,
+                             const Vec3& box_min, const Vec3& box_max,
+                             CellTrace* trace) const {
   const Vec3& s = points_[static_cast<std::size_t>(site)];
   cell.reset(s, box_min, box_max);
+  scratch.backend = backend_;
   std::uint64_t cuts = 0;
+  std::uint64_t cand_seen = 0, cand_kept = 0, batches = 0, lanes = 0;
 
   // Site's bin coordinates.
   int sc[3];
@@ -107,10 +157,25 @@ void CellBuilder::build_into(VoronoiCell& cell, ClipScratch& scratch, int site,
     const double rel = (s[static_cast<std::size_t>(a)] - lo_[static_cast<std::size_t>(a)]) / h_[a];
     sc[a] = std::clamp(static_cast<int>(rel), 0, nb_[a] - 1);
   }
+  const int site_bin = (sc[2] * nb_[1] + sc[1]) * nb_[0] + sc[0];
   const double hmin = std::min({h_[0], h_[1], h_[2]});
   const int max_ring = std::max({nb_[0], nb_[1], nb_[2]});
 
-  auto& ring_pts = scratch.ring_pts;  // (dist2, point index)
+  auto& ring_pts = scratch.ring_pts;  // surviving (dist2, point index)
+  auto& cx = scratch.cand_x;
+  auto& cy = scratch.cand_y;
+  auto& cz = scratch.cand_z;
+  auto& cd2 = scratch.cand_d2;
+  auto& cidx = scratch.cand_idx;
+
+  auto merge_counters = [&] {
+    scratch.cuts_attempted += cuts;
+    cuts_.fetch_add(cuts, std::memory_order_relaxed);
+    cand_seen_.fetch_add(cand_seen, std::memory_order_relaxed);
+    cand_kept_.fetch_add(cand_kept, std::memory_order_relaxed);
+    batches_.fetch_add(batches, std::memory_order_relaxed);
+    lanes_.fetch_add(lanes, std::memory_order_relaxed);
+  };
 
   for (int r = 0; r <= max_ring; ++r) {
     // Any point in a bin at Chebyshev ring r is at least (r-1)*hmin from the
@@ -121,7 +186,13 @@ void CellBuilder::build_into(VoronoiCell& cell, ClipScratch& scratch, int site,
       if (ring_min * ring_min > 4.0 * cell.max_radius2()) break;
     }
 
-    ring_pts.clear();
+    // Gather the shell's candidates into contiguous SoA batches: one
+    // three-array copy per bin segment (the CSR slabs are already SoA).
+    cx.clear();
+    cy.clear();
+    cz.clear();
+    cidx.clear();
+    std::ptrdiff_t site_slot = -1;
     const int x0 = sc[0] - r, x1 = sc[0] + r;
     const int y0 = sc[1] - r, y1 = sc[1] + r;
     const int z0 = sc[2] - r, z1 = sc[2] + r;
@@ -132,15 +203,52 @@ void CellBuilder::build_into(VoronoiCell& cell, ClipScratch& scratch, int site,
           if (r > 0 && x != x0 && x != x1 && y != y0 && y != y1 && z != z0 &&
               z != z1)
             continue;
-          const auto& bin =
-              bins_[(static_cast<std::size_t>(z) * static_cast<std::size_t>(nb_[1]) +
-                     static_cast<std::size_t>(y)) * static_cast<std::size_t>(nb_[0]) +
-                    static_cast<std::size_t>(x)];
-          for (int j : bin) {
-            if (j == site) continue;
-            ring_pts.emplace_back(dist2(s, points_[static_cast<std::size_t>(j)]), j);
-          }
+          const int b = (z * nb_[1] + y) * nb_[0] + x;
+          const auto begin = static_cast<std::size_t>(bin_offsets_[static_cast<std::size_t>(b)]);
+          const auto end = static_cast<std::size_t>(bin_offsets_[static_cast<std::size_t>(b) + 1]);
+          if (begin == end) continue;
+          const std::size_t base = cidx.size();
+          cx.insert(cx.end(), csr_x_.begin() + static_cast<std::ptrdiff_t>(begin),
+                    csr_x_.begin() + static_cast<std::ptrdiff_t>(end));
+          cy.insert(cy.end(), csr_y_.begin() + static_cast<std::ptrdiff_t>(begin),
+                    csr_y_.begin() + static_cast<std::ptrdiff_t>(end));
+          cz.insert(cz.end(), csr_z_.begin() + static_cast<std::ptrdiff_t>(begin),
+                    csr_z_.begin() + static_cast<std::ptrdiff_t>(end));
+          cidx.insert(cidx.end(),
+                      bin_items_.begin() + static_cast<std::ptrdiff_t>(begin),
+                      bin_items_.begin() + static_cast<std::ptrdiff_t>(end));
+          if (b == site_bin)
+            for (std::size_t k = begin; k < end; ++k)
+              if (bin_items_[k] == site) {
+                site_slot = static_cast<std::ptrdiff_t>(base + (k - begin));
+                break;
+              }
         }
+
+    const std::size_t n = cidx.size();
+    cand_seen += n;
+    if (backend_ == TessBackend::kSimd) {
+      batches += (n + util::simd::kLanes - 1) / util::simd::kLanes;
+      lanes += n;
+    }
+
+    // Batched squared distances (bitwise equal across backends), then the
+    // site itself is masked out and the screen drops everything already
+    // beyond the security radius at ring entry. The screen cannot change
+    // the cut sequence: the threshold only shrinks as cuts land, so any
+    // candidate past the entry threshold would have terminated the sorted
+    // consume loop before being reached.
+    cd2.resize(n);
+    kernels::dist2_batch(backend_, cx.data(), cy.data(), cz.data(), n, s,
+                         cd2.data());
+    if (site_slot >= 0)
+      cd2[static_cast<std::size_t>(site_slot)] =
+          std::numeric_limits<double>::infinity();
+    ring_pts.clear();
+    cand_kept += kernels::screen_candidates(backend_, cd2.data(), cidx.data(),
+                                            n, 4.0 * cell.max_radius2(),
+                                            ring_pts);
+
     // Canonical candidate order: distance, then id, then position. The key
     // is a pure function of the particle (never its array index), so an
     // incrementally grown builder and a from-scratch builder over the same
@@ -162,21 +270,24 @@ void CellBuilder::build_into(VoronoiCell& cell, ClipScratch& scratch, int site,
                 if (pa.y != pb.y) return pa.y < pb.y;
                 return pa.z < pb.z;
               });
+    if (trace)
+      for (const auto& [d2, j] : ring_pts)
+        trace->candidates.emplace_back(
+            d2, ids_.empty() ? j : ids_[static_cast<std::size_t>(j)]);
 
     for (const auto& [d2, j] : ring_pts) {
       if (d2 > 4.0 * cell.max_radius2()) break;  // sorted: rest are farther
       const std::int64_t id = ids_.empty() ? j : ids_[static_cast<std::size_t>(j)];
       ++cuts;
+      if (trace) trace->cut_ids.push_back(id);
       cell.cut(points_[static_cast<std::size_t>(j)], id, scratch);
       if (cell.empty()) {
-        scratch.cuts_attempted += cuts;
-        cuts_.fetch_add(cuts, std::memory_order_relaxed);
+        merge_counters();
         return;
       }
     }
   }
-  scratch.cuts_attempted += cuts;
-  cuts_.fetch_add(cuts, std::memory_order_relaxed);
+  merge_counters();
 }
 
 }  // namespace tess::geom

@@ -38,6 +38,60 @@ inline double above_measure(const std::vector<Vec3>& pts, const Face& f, int p) 
                         pts[static_cast<std::size_t>(p)]);
 }
 
+// SoA scratch for the batched conflict-list assignment.
+struct ConflictScratch {
+  std::vector<double> qx, qy, qz;
+  std::vector<int> sign;
+  std::vector<int> next;
+};
+
+// Assign each candidate point to the first face in `face_ids` (in order)
+// that sees it, appending to that face's conflict list and maintaining its
+// furthest point. Face-major with stable filtering, which is exactly
+// equivalent to the point-major first-visible-face-wins loop it replaces:
+// per point the assigned face is still the first visible one in face order,
+// and per face the list keeps ascending candidate order. Candidates seen by
+// no face are interior and dropped. `cands` is consumed.
+void assign_conflicts(const std::vector<Vec3>& pts, std::vector<Face>& faces,
+                      const std::vector<int>& face_ids, std::vector<int>& cands,
+                      TessBackend backend, ConflictScratch& s) {
+  for (int fi : face_ids) {
+    if (cands.empty()) break;
+    Face& f = faces[static_cast<std::size_t>(fi)];
+    const std::size_t n = cands.size();
+    s.qx.resize(n);
+    s.qy.resize(n);
+    s.qz.resize(n);
+    s.sign.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec3& p = pts[static_cast<std::size_t>(cands[i])];
+      s.qx[i] = p.x;
+      s.qy[i] = p.y;
+      s.qz[i] = p.z;
+    }
+    orient3d_batch(backend, pts[static_cast<std::size_t>(f.v[0])],
+                   pts[static_cast<std::size_t>(f.v[1])],
+                   pts[static_cast<std::size_t>(f.v[2])], s.qx.data(),
+                   s.qy.data(), s.qz.data(), n, s.sign.data());
+    s.next.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const int p = cands[i];
+      if (s.sign[i] < 0) {
+        f.outside.push_back(p);
+        const double d = above_measure(pts, f, p);
+        if (f.furthest < 0 || d > f.furthest_d) {
+          f.furthest_d = d;
+          f.furthest = p;
+        }
+      } else {
+        s.next.push_back(p);
+      }
+    }
+    cands.swap(s.next);
+  }
+  cands.clear();
+}
+
 using EdgeKey = std::uint64_t;
 inline EdgeKey edge_key(int u, int v) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
@@ -119,13 +173,15 @@ bool initial_simplex(const std::vector<Vec3>& pts, std::array<int, 4>& out) {
 
 }  // namespace
 
-HullResult convex_hull(const std::vector<Vec3>& pts) {
+HullResult convex_hull(const std::vector<Vec3>& pts, TessBackend backend) {
+  const TessBackend bk = resolve_backend(backend);
   HullResult result;
   std::array<int, 4> seed{};
   if (!initial_simplex(pts, seed)) {
     result.degenerate = true;
     return result;
   }
+  ConflictScratch conflict_scratch;
 
   std::vector<Face> faces;
   faces.reserve(64);
@@ -164,20 +220,14 @@ HullResult convex_hull(const std::vector<Vec3>& pts) {
       }
   }
 
-  // Initial conflict lists.
-  for (int p = 0; p < static_cast<int>(pts.size()); ++p) {
-    if (p == seed[0] || p == seed[1] || p == seed[2] || p == seed[3]) continue;
-    for (auto& f : faces) {
-      if (visible(pts, f, p)) {
-        f.outside.push_back(p);
-        const double d = above_measure(pts, f, p);
-        if (f.furthest < 0 || d > f.furthest_d) {
-          f.furthest_d = d;
-          f.furthest = p;
-        }
-        break;
-      }
-    }
+  // Initial conflict lists, assigned via the batched visibility filter.
+  {
+    std::vector<int> cands;
+    cands.reserve(pts.size());
+    for (int p = 0; p < static_cast<int>(pts.size()); ++p)
+      if (p != seed[0] && p != seed[1] && p != seed[2] && p != seed[3])
+        cands.push_back(p);
+    assign_conflicts(pts, faces, {0, 1, 2, 3}, cands, bk, conflict_scratch);
   }
 
   std::vector<int> pending;
@@ -269,21 +319,8 @@ HullResult convex_hull(const std::vector<Vec3>& pts) {
       }
     }
 
-    // Redistribute orphans to the new faces.
-    for (int p : orphans) {
-      for (int nfi : new_faces) {
-        Face& nf = faces[static_cast<std::size_t>(nfi)];
-        if (visible(pts, nf, p)) {
-          nf.outside.push_back(p);
-          const double d = above_measure(pts, nf, p);
-          if (nf.furthest < 0 || d > nf.furthest_d) {
-            nf.furthest_d = d;
-            nf.furthest = p;
-          }
-          break;
-        }
-      }
-    }
+    // Redistribute orphans to the new faces (batched, first-visible wins).
+    assign_conflicts(pts, faces, new_faces, orphans, bk, conflict_scratch);
     for (int nfi : new_faces)
       if (!faces[static_cast<std::size_t>(nfi)].outside.empty())
         pending.push_back(nfi);

@@ -1,0 +1,167 @@
+// See kernels.hpp for the bit-identity contract. This file is compiled with
+// -ffp-contract=off (src/geom/CMakeLists.txt): a fused multiply-add rounds
+// once where mul+add rounds twice, so letting the compiler contract one
+// backend's sweep but not the other's would silently break byte parity.
+// Keep every floating-point expression here in the exact association order
+// of its scalar counterpart (geom::dist2, VoronoiCell::clip).
+#include "geom/kernels.hpp"
+
+#include <cmath>
+
+#include "util/simd.hpp"
+
+// Runtime ISA dispatch for the hot sweeps: the "default" clone targets the
+// build's baseline ISA, the "avx2" clone runs the 4-lane vectors as single
+// 256-bit ops on hardware that has them. Both clones execute the same IEEE
+// operations (no FMA — contraction is off), so the dispatch is invisible to
+// the bit-identity contract. Disabled under sanitizers (ifunc resolvers run
+// before their runtimes initialize) and on compilers without the attribute.
+#if defined(__x86_64__) && defined(__linux__) && \
+    (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__) && \
+    !defined(TESS_SIMD_SCALAR)
+#define TESS_KERNEL_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define TESS_KERNEL_CLONES
+#endif
+
+namespace tess::geom::kernels {
+
+namespace {
+
+namespace simd = tess::util::simd;
+
+TESS_KERNEL_CLONES
+void dist2_simd(const double* x, const double* y, const double* z,
+                std::size_t n, const Vec3& site, double* d2) {
+  const simd::DVec sx = simd::DVec::broadcast(site.x);
+  const simd::DVec sy = simd::DVec::broadcast(site.y);
+  const simd::DVec sz = simd::DVec::broadcast(site.z);
+  std::size_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    const simd::DVec dx = simd::DVec::load(x + i) - sx;
+    const simd::DVec dy = simd::DVec::load(y + i) - sy;
+    const simd::DVec dz = simd::DVec::load(z + i) - sz;
+    const simd::DVec r = (dx * dx + dy * dy) + dz * dz;
+    r.store(d2 + i);
+  }
+  for (; i < n; ++i) {
+    const double dx = x[i] - site.x;
+    const double dy = y[i] - site.y;
+    const double dz = z[i] - site.z;
+    d2[i] = (dx * dx + dy * dy) + dz * dz;
+  }
+}
+
+TESS_KERNEL_CLONES
+void plane_distances_simd(const Vec3* verts, std::size_t n, const Vec3& normal,
+                          double plane_d, double* dist, double* abs_max_out) {
+  const simd::DVec nx = simd::DVec::broadcast(normal.x);
+  const simd::DVec ny = simd::DVec::broadcast(normal.y);
+  const simd::DVec nz = simd::DVec::broadcast(normal.z);
+  const simd::DVec pd = simd::DVec::broadcast(plane_d);
+  simd::DVec amax = simd::DVec::broadcast(0.0);
+  double abs_max = 0.0;
+  std::size_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    // Lane gather from the AoS vertex array; the arithmetic afterwards is
+    // one 4-wide sweep.
+    const simd::DVec vx = simd::DVec::set(verts[i].x, verts[i + 1].x,
+                                          verts[i + 2].x, verts[i + 3].x);
+    const simd::DVec vy = simd::DVec::set(verts[i].y, verts[i + 1].y,
+                                          verts[i + 2].y, verts[i + 3].y);
+    const simd::DVec vz = simd::DVec::set(verts[i].z, verts[i + 1].z,
+                                          verts[i + 2].z, verts[i + 3].z);
+    const simd::DVec nv = (nx * vx + ny * vy) + nz * vz;
+    (nv - pd).store(dist + i);
+    amax = simd::max(amax, simd::abs(nv));
+  }
+  abs_max = simd::hmax(amax);
+  for (; i < n; ++i) {
+    const double nv =
+        (normal.x * verts[i].x + normal.y * verts[i].y) + normal.z * verts[i].z;
+    dist[i] = nv - plane_d;
+    const double a = std::fabs(nv);
+    if (a > abs_max) abs_max = a;
+  }
+  *abs_max_out = abs_max;
+}
+
+TESS_KERNEL_CLONES
+std::size_t screen_simd(const double* d2, const int* idx, std::size_t n,
+                        double limit,
+                        std::vector<std::pair<double, int>>& out) {
+  std::size_t kept = 0;
+  const simd::DVec lim = simd::DVec::broadcast(limit);
+  std::size_t i = 0;
+  for (; i + simd::kLanes <= n; i += simd::kLanes) {
+    // One vector compare decides whether the whole batch is rejectable —
+    // the common case once the security radius has shrunk. Mixed batches
+    // re-test each lane with the identical scalar predicate (cheaper than
+    // extracting mask lanes, and trivially the same decision).
+    const simd::Mask keep = simd::DVec::load(d2 + i) <= lim;
+    if (!keep.any()) continue;
+    for (std::size_t l = 0; l < simd::kLanes; ++l) {
+      const double v = d2[i + l];
+      if (v <= limit) {
+        out.emplace_back(v, idx[i + l]);
+        ++kept;
+      }
+    }
+  }
+  for (; i < n; ++i)
+    if (d2[i] <= limit) {
+      out.emplace_back(d2[i], idx[i]);
+      ++kept;
+    }
+  return kept;
+}
+
+}  // namespace
+
+void dist2_batch(TessBackend backend, const double* x, const double* y,
+                 const double* z, std::size_t n, const Vec3& site, double* d2) {
+  if (backend == TessBackend::kSimd) {
+    dist2_simd(x, y, z, n, site, d2);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - site.x;
+    const double dy = y[i] - site.y;
+    const double dz = z[i] - site.z;
+    d2[i] = (dx * dx + dy * dy) + dz * dz;
+  }
+}
+
+std::size_t screen_candidates(TessBackend backend, const double* d2,
+                              const int* idx, std::size_t n, double limit,
+                              std::vector<std::pair<double, int>>& out) {
+  std::size_t kept = 0;
+  if (backend == TessBackend::kSimd) return screen_simd(d2, idx, n, limit, out);
+  for (std::size_t i = 0; i < n; ++i)
+    if (d2[i] <= limit) {
+      out.emplace_back(d2[i], idx[i]);
+      ++kept;
+    }
+  return kept;
+}
+
+void plane_distances(TessBackend backend, const Vec3* verts, std::size_t n,
+                     const Vec3& normal, double plane_d, double* dist,
+                     double* abs_max_out) {
+  if (backend == TessBackend::kSimd) {
+    plane_distances_simd(verts, n, normal, plane_d, dist, abs_max_out);
+    return;
+  }
+  double abs_max = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double nv =
+        (normal.x * verts[i].x + normal.y * verts[i].y) + normal.z * verts[i].z;
+    dist[i] = nv - plane_d;
+    const double a = std::fabs(nv);
+    if (a > abs_max) abs_max = a;
+  }
+  *abs_max_out = abs_max;
+}
+
+}  // namespace tess::geom::kernels

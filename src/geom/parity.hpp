@@ -1,0 +1,67 @@
+// Cross-backend parity harness for the geometry backends.
+//
+// Modeled on the StageB GPU-parity retrospective workflow: instead of a
+// single end-to-end hash that says "something diverged", every cell is
+// built with both backends through the traced build path and compared
+// stage by stage — candidate sequence, cut sequence, vertex coordinates,
+// face topology — so the first report already names the earliest diverging
+// stage. Divergent sites are auto-picked into `debug_cells` (the cells to
+// re-run under a debugger), and the harness emits geom.parity.* obs
+// metrics on every run, not just on failure, so a green run leaves an
+// audit trail too.
+//
+// All comparisons are bitwise (doubles compared by bit pattern, not ==):
+// the backends promise byte-identical serialized meshes, so +0.0 vs -0.0
+// counts as a divergence here even though == would accept it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace tess::geom {
+
+struct ParityDivergence {
+  int site = -1;
+  /// Earliest diverging stage: "candidates", "cuts", "vertices", "faces".
+  std::string stage;
+  std::string detail;
+};
+
+struct ParityReport {
+  std::size_t cells = 0;           ///< cells compared
+  std::uint64_t cuts_scalar = 0;   ///< total cuts attempted, scalar backend
+  std::uint64_t cuts_simd = 0;     ///< total cuts attempted, simd backend
+  /// First divergence per affected site, up to ParityOptions::max_divergences.
+  std::vector<ParityDivergence> divergences;
+  /// Auto-picked sites to re-run traced under a debugger (the sites of the
+  /// recorded divergences, deduplicated, in discovery order).
+  std::vector<int> debug_cells;
+
+  [[nodiscard]] bool ok() const {
+    return divergences.empty() && cuts_scalar == cuts_simd;
+  }
+  /// One-line human summary for logs and test failure messages.
+  [[nodiscard]] std::string summary() const;
+};
+
+struct ParityOptions {
+  std::size_t max_divergences = 8;
+  /// Emit geom.parity.* metrics into the obs registry (on by default; the
+  /// harness reports on every run, green or red).
+  bool emit_metrics = true;
+};
+
+/// Build the Voronoi cell of every point with the scalar backend and the
+/// SIMD backend over the identical point set and seed box [box_min,
+/// box_max], comparing per stage. `ids` may be empty (indices used as ids,
+/// as in CellBuilder).
+ParityReport compare_backends(const std::vector<Vec3>& points,
+                              const std::vector<std::int64_t>& ids,
+                              const Vec3& bounds_min, const Vec3& bounds_max,
+                              const Vec3& box_min, const Vec3& box_max,
+                              const ParityOptions& opts = {});
+
+}  // namespace tess::geom

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <unordered_set>
 
+#include "geom/kernels.hpp"
+
 namespace tess::geom {
 
 namespace {
@@ -86,15 +88,14 @@ bool VoronoiCell::clip(const Plane& plane) { return clip(plane, tls_scratch()); 
 bool VoronoiCell::clip(const Plane& plane, ClipScratch& s) {
   if (faces_.empty()) return false;
 
-  // Signed distances for every stored vertex (unused ones are harmless).
+  // Signed distances for every stored vertex (unused ones are harmless),
+  // batched through the shared kernel TU so scalar and SIMD backends get
+  // bitwise-equal distances (see geom/kernels.hpp).
   const std::size_t nv0 = verts_.size();
   double vert_scale = 0.0;
   s.dist.resize(nv0);
-  for (std::size_t i = 0; i < nv0; ++i) {
-    const double nx = dot(plane.n, verts_[i]);
-    s.dist[i] = nx - plane.d;
-    vert_scale = std::max(vert_scale, std::fabs(nx));
-  }
+  kernels::plane_distances(s.backend, verts_.data(), nv0, plane.n, plane.d,
+                           s.dist.data(), &vert_scale);
   const double eps = plane_eps(plane, vert_scale);
   auto outside = [&](int v) { return s.dist[static_cast<std::size_t>(v)] > eps; };
 

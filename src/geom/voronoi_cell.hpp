@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "geom/backend.hpp"
 #include "geom/vec3.hpp"
 #include "util/small_vector.hpp"
 
@@ -174,6 +175,15 @@ struct ClipScratch {
   /// Sorted by (dist2, id, position) — a key independent of point-array
   /// layout, so incremental and from-scratch builders cut in the same order.
   std::vector<std::pair<double, int>> ring_pts;
+  /// SoA gather buffers for the ring sweep: candidate coordinates and point
+  /// indices copied from the builder's CSR slabs, plus the batched squared
+  /// distances (geom/kernels.hpp) screened into ring_pts.
+  std::vector<double> cand_x, cand_y, cand_z, cand_d2;
+  std::vector<int> cand_idx;
+  /// Geometry backend for the batched clip kernels. Set by CellBuilder from
+  /// its resolved backend; the default keeps standalone cut()/clip() calls
+  /// on the scalar sweep.
+  TessBackend backend = TessBackend::kScalar;
   /// Bisector cuts attempted through this scratch (per-thread accumulator;
   /// merged by the owner, see CellBuilder::cuts_attempted).
   std::uint64_t cuts_attempted = 0;

@@ -170,11 +170,17 @@ std::string imbalance_tsv(const ImbalanceReport& report) {
 CompareResult compare_summaries(const std::vector<SummaryRow>& baseline,
                                 const std::vector<SummaryRow>& current,
                                 const CompareOptions& options) {
+  // Spans (wall seconds summed per phase) and bench rows (per-iteration
+  // seconds from parse_benchmark_json) ride the same gate; counters/gauges/
+  // histograms are not times and stay out.
+  const auto timed = [](const SummaryRow& r) {
+    return r.kind == "span" || r.kind == "bench";
+  };
   std::map<std::string, double> base, cur;
   for (const auto& r : baseline)
-    if (r.kind == "span") base[r.name] += r.total;
+    if (timed(r)) base[r.name] += r.total;
   for (const auto& r : current)
-    if (r.kind == "span") cur[r.name] += r.total;
+    if (timed(r)) cur[r.name] += r.total;
 
   CompareResult result;
   std::map<std::string, std::pair<const double*, const double*>> names;

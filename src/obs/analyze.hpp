@@ -131,9 +131,11 @@ struct CompareResult {
   }
 };
 
-/// Diff the span rows of two summaries per phase. Non-span rows are
-/// ignored; phases present on only one side are reported as added/removed
-/// but never fail the gate (instrumentation legitimately moves).
+/// Diff the timed rows of two summaries per phase — "span" rows (wall
+/// seconds) and "bench" rows (per-iteration seconds from
+/// parse_benchmark_json); counters/gauges/histograms are ignored. Phases
+/// present on only one side are reported as added/removed but never fail
+/// the gate (instrumentation legitimately moves).
 [[nodiscard]] CompareResult compare_summaries(
     const std::vector<SummaryRow>& baseline,
     const std::vector<SummaryRow>& current, const CompareOptions& options);

@@ -239,6 +239,25 @@ class JsonReader {
   explicit JsonReader(const std::string& text)
       : p_(text.data()), end_(text.data() + text.size()) {}
 
+  /// Parse `[ <value>, ... ]`, calling on_elem() positioned at each
+  /// element; the callback must consume exactly that value.
+  template <class F>
+  void array(F&& on_elem) {
+    expect('[');
+    ws();
+    if (eat(']')) return;
+    while (true) {
+      on_elem();
+      ws();
+      if (eat(',')) {
+        ws();
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
   /// Parse `{ "key": <value>, ... }`, calling on_key(key) positioned at
   /// each value; the callback must consume exactly that value.
   template <class F>
@@ -402,6 +421,62 @@ std::vector<SummaryRow> parse_summary_json(const std::string& text) {
       rows.push_back(std::move(row));
     });
   });
+  return rows;
+}
+
+std::vector<SummaryRow> parse_benchmark_json(const std::string& text,
+                                             std::string* build_type) {
+  std::vector<SummaryRow> rows;
+  if (build_type != nullptr) build_type->clear();
+  std::string context_build_type;  // library_build_type fallback
+  JsonReader in(text);
+  in.object([&](const std::string& section) {
+    if (section == "context") {
+      in.object([&](const std::string& key) {
+        if (key == "tess_build_type") {
+          if (build_type != nullptr) *build_type = in.string();
+          else in.skip_value();
+        } else if (key == "library_build_type") {
+          context_build_type = in.string();
+        } else {
+          in.skip_value();
+        }
+      });
+      return;
+    }
+    if (section != "benchmarks") {
+      in.skip_value();
+      return;
+    }
+    in.array([&] {
+      SummaryRow row;
+      row.kind = "bench";
+      std::string run_type;
+      double real_time = 0.0, cpu_time = 0.0, unit = 1e-9;  // default ns
+      in.object([&](const std::string& field) {
+        if (field == "name") row.name = in.string();
+        else if (field == "run_type") run_type = in.string();
+        else if (field == "iterations") row.count = in.number();
+        else if (field == "real_time") real_time = in.number();
+        else if (field == "cpu_time") cpu_time = in.number();
+        else if (field == "time_unit") {
+          const std::string u = in.string();
+          unit = u == "s" ? 1.0 : u == "ms" ? 1e-3 : u == "us" ? 1e-6 : 1e-9;
+        } else {
+          in.skip_value();
+        }
+      });
+      // Aggregate rows (mean/median/stddev of repetitions) would double
+      // count against the per-iteration rows; keep iterations only.
+      if (!run_type.empty() && run_type != "iteration") return;
+      row.total = real_time * unit;  // per-iteration wall seconds
+      row.min = cpu_time * unit;
+      row.max = cpu_time * unit;
+      rows.push_back(std::move(row));
+    });
+  });
+  if (build_type != nullptr && build_type->empty())
+    *build_type = context_build_type;
   return rows;
 }
 

@@ -60,6 +60,19 @@ struct SummaryRow {
 [[nodiscard]] std::vector<SummaryRow> parse_summary_tsv(
     const std::string& text);
 
+/// Parse a google-benchmark `--benchmark_format=json` file into rows of
+/// kind "bench": one row per benchmark, `count` = iterations, `total` =
+/// per-iteration real time in seconds, `min`/`max` = per-iteration CPU
+/// time in seconds (aggregate rows from repetitions are skipped). When
+/// `build_type` is non-null it receives the context's "tess_build_type"
+/// (falling back to google-benchmark's own "library_build_type", empty if
+/// neither is present) so callers can flag debug-build numbers. Feeds the
+/// same compare_summaries gate as span summaries — pass --min-seconds 0 to
+/// obs_compare, since per-iteration times sit far below the span noise
+/// floor.
+[[nodiscard]] std::vector<SummaryRow> parse_benchmark_json(
+    const std::string& text, std::string* build_type = nullptr);
+
 /// Parse summary_json output into the same rows parse_summary_tsv yields
 /// (spans keep count/total/min/max; counters and gauges surface their value
 /// as `total`; histograms surface sample count as `count` and sample sum as

@@ -1,0 +1,243 @@
+// Portable 4-wide double SIMD wrapper for the geometry kernels.
+//
+// On GCC/Clang the vector is a native vector-extension type, which lowers
+// to whatever the target ISA provides (2x SSE2 ops on baseline x86-64, one
+// AVX2 op under -march=x86-64-v3, NEON pairs on aarch64). Elsewhere — or
+// when TESS_SIMD_SCALAR is defined — every operation is a plain per-lane
+// loop. Both paths perform the identical IEEE-754 operation per lane in
+// the identical order, so results are bitwise equal between the native and
+// fallback implementations and equal to a scalar loop applying the same
+// expression lane by lane. That bit-identity (including signed zeros and
+// denormals; asserted by tests/test_simd.cpp) is what lets the SIMD
+// geometry backend promise byte-identical meshes to the scalar backend.
+//
+// Deliberately no FMA anywhere: a fused multiply-add rounds once where
+// mul+add rounds twice, which would break lane-vs-scalar bit parity. The
+// kernels translation unit is additionally compiled with -ffp-contract=off
+// so the compiler cannot introduce contractions on its own.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(TESS_SIMD_SCALAR) && (defined(__GNUC__) || defined(__clang__))
+#define TESS_SIMD_NATIVE 1
+#endif
+
+namespace tess::util::simd {
+
+/// Lanes per batch. Fixed at 4 doubles (one 256-bit vector) independent of
+/// the target ISA: narrower targets split the vector, which keeps batch
+/// shapes — and therefore occupancy metrics — stable across builds.
+inline constexpr std::size_t kLanes = 4;
+
+struct Mask;
+
+/// Four doubles, operated on lane-wise.
+struct DVec {
+#if TESS_SIMD_NATIVE
+  typedef double Native __attribute__((vector_size(sizeof(double) * kLanes)));
+  Native v;
+#else
+  double v[kLanes];
+#endif
+
+  static DVec broadcast(double s) {
+#if TESS_SIMD_NATIVE
+    return {Native{s, s, s, s}};
+#else
+    DVec r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = s;
+    return r;
+#endif
+  }
+
+  /// Four explicit lane values (the portable "gather" for AoS sources).
+  static DVec set(double a, double b, double c, double d) {
+#if TESS_SIMD_NATIVE
+    return {Native{a, b, c, d}};
+#else
+    return {{a, b, c, d}};
+#endif
+  }
+
+  /// Unaligned contiguous load of 4 doubles.
+  static DVec load(const double* p) {
+    return set(p[0], p[1], p[2], p[3]);
+  }
+
+  void store(double* p) const {
+    for (std::size_t i = 0; i < kLanes; ++i) p[i] = lane(i);
+  }
+
+  [[nodiscard]] double lane(std::size_t i) const { return v[i]; }
+
+  friend DVec operator+(const DVec& a, const DVec& b) {
+#if TESS_SIMD_NATIVE
+    return {a.v + b.v};
+#else
+    DVec r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = a.v[i] + b.v[i];
+    return r;
+#endif
+  }
+  friend DVec operator-(const DVec& a, const DVec& b) {
+#if TESS_SIMD_NATIVE
+    return {a.v - b.v};
+#else
+    DVec r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = a.v[i] - b.v[i];
+    return r;
+#endif
+  }
+  friend DVec operator*(const DVec& a, const DVec& b) {
+#if TESS_SIMD_NATIVE
+    return {a.v * b.v};
+#else
+    DVec r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = a.v[i] * b.v[i];
+    return r;
+#endif
+  }
+
+  inline friend Mask operator>(const DVec& a, const DVec& b);
+  inline friend Mask operator<=(const DVec& a, const DVec& b);
+};
+
+/// Lane-wise boolean result of a comparison (all-ones / all-zeros lanes).
+struct Mask {
+#if TESS_SIMD_NATIVE
+  typedef long long Native __attribute__((vector_size(sizeof(long long) * kLanes)));
+  Native m;
+#else
+  bool m[kLanes];
+#endif
+
+  [[nodiscard]] bool lane(std::size_t i) const {
+#if TESS_SIMD_NATIVE
+    return m[i] != 0;
+#else
+    return m[i];
+#endif
+  }
+
+  [[nodiscard]] bool any() const {
+#if TESS_SIMD_NATIVE && defined(__GNUC__) && !defined(__clang__)
+    // OR-reduce in vector registers (swap halves, then pairs) instead of
+    // extracting four lanes through branches — any() guards the hot skip
+    // path of the candidate screen. __builtin_shuffle is GCC-only; clang
+    // turns the plain lane loop into a movmsk on its own.
+    const Native h = m | __builtin_shuffle(m, Native{2, 3, 0, 1});
+    const Native q = h | __builtin_shuffle(h, Native{1, 0, 3, 2});
+    return q[0] != 0;
+#else
+    for (std::size_t i = 0; i < kLanes; ++i)
+      if (lane(i)) return true;
+    return false;
+#endif
+  }
+
+  [[nodiscard]] bool all() const {
+#if TESS_SIMD_NATIVE && defined(__GNUC__) && !defined(__clang__)
+    const Native h = m & __builtin_shuffle(m, Native{2, 3, 0, 1});
+    const Native q = h & __builtin_shuffle(h, Native{1, 0, 3, 2});
+    return q[0] != 0;
+#else
+    for (std::size_t i = 0; i < kLanes; ++i)
+      if (!lane(i)) return false;
+    return true;
+#endif
+  }
+
+  friend Mask operator|(const Mask& a, const Mask& b) {
+#if TESS_SIMD_NATIVE
+    return {a.m | b.m};
+#else
+    Mask r;
+    for (std::size_t i = 0; i < kLanes; ++i) r.m[i] = a.m[i] || b.m[i];
+    return r;
+#endif
+  }
+};
+
+inline Mask operator>(const DVec& a, const DVec& b) {
+#if TESS_SIMD_NATIVE
+  return {a.v > b.v};
+#else
+  Mask r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.m[i] = a.v[i] > b.v[i];
+  return r;
+#endif
+}
+
+inline Mask operator<=(const DVec& a, const DVec& b) {
+#if TESS_SIMD_NATIVE
+  return {a.v <= b.v};
+#else
+  Mask r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.m[i] = a.v[i] <= b.v[i];
+  return r;
+#endif
+}
+
+/// Lane-wise |x|: clears the sign bit, so abs(-0.0) == +0.0 and denormals
+/// pass through unchanged (bit-identical to std::fabs per lane).
+inline DVec abs(const DVec& a) {
+#if TESS_SIMD_NATIVE
+  typedef long long IVec __attribute__((vector_size(sizeof(long long) * kLanes)));
+  union {
+    DVec::Native d;
+    IVec i;
+  } u;
+  u.d = a.v;
+  u.i &= 0x7fffffffffffffffLL;
+  return {u.d};
+#else
+  DVec r;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    std::uint64_t bits;
+    __builtin_memcpy(&bits, &a.v[i], sizeof(bits));
+    bits &= 0x7fffffffffffffffULL;
+    __builtin_memcpy(&r.v[i], &bits, sizeof(bits));
+  }
+  return r;
+#endif
+}
+
+/// Lane-wise max via compare+select; for non-NaN inputs the result is one
+/// of the two operands, so reductions built on it are order-insensitive at
+/// the bit level (a tie between +0.0 and -0.0 picks `b`, matching the
+/// scalar `a > b ? a : b`).
+inline DVec max(const DVec& a, const DVec& b) {
+#if TESS_SIMD_NATIVE
+  const Mask gt = a > b;
+  union {
+    Mask::Native m;
+    DVec::Native d;
+  } sel_a, sel_b;
+  sel_a.m = gt.m;
+  sel_b.m = ~gt.m;
+  union {
+    DVec::Native d;
+    Mask::Native m;
+  } ua, ub, out;
+  ua.d = a.v;
+  ub.d = b.v;
+  out.m = (ua.m & sel_a.m) | (ub.m & sel_b.m);
+  return {out.d};
+#else
+  DVec r;
+  for (std::size_t i = 0; i < kLanes; ++i) r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+  return r;
+#endif
+}
+
+/// Horizontal max of the four lanes (order-insensitive for non-NaN input).
+inline double hmax(const DVec& a) {
+  double m = a.lane(0);
+  for (std::size_t i = 1; i < kLanes; ++i)
+    if (a.lane(i) > m) m = a.lane(i);
+  return m;
+}
+
+}  // namespace tess::util::simd

@@ -309,6 +309,60 @@ TEST(ObsCompare, ParseSummaryJsonRejectsMalformedInput) {
 }
 
 // ---------------------------------------------------------------------------
+// parse_benchmark_json: google-benchmark files feeding the same gate
+// ---------------------------------------------------------------------------
+
+TEST(ObsCompare, ParseBenchmarkJson) {
+  const std::string json = R"({
+    "context": {
+      "date": "2026-08-07", "num_cpus": 1,
+      "tess_build_type": "release", "library_build_type": "debug"
+    },
+    "benchmarks": [
+      {"name": "BM_Dist2Batch/simd", "run_type": "iteration",
+       "iterations": 1000, "real_time": 250.0, "cpu_time": 240.0,
+       "time_unit": "ns"},
+      {"name": "BM_Slow", "iterations": 10, "real_time": 1.5,
+       "cpu_time": 1.4, "time_unit": "ms"},
+      {"name": "BM_Dist2Batch/simd_mean", "run_type": "aggregate",
+       "iterations": 3, "real_time": 260.0, "cpu_time": 250.0,
+       "time_unit": "ns"}
+    ]
+  })";
+  std::string build_type;
+  const auto rows = obs::parse_benchmark_json(json, &build_type);
+  EXPECT_EQ(build_type, "release");  // tess_build_type wins over library's
+  ASSERT_EQ(rows.size(), 2u);        // aggregate row skipped
+  EXPECT_EQ(rows[0].kind, "bench");
+  EXPECT_EQ(rows[0].name, "BM_Dist2Batch/simd");
+  EXPECT_NEAR(rows[0].count, 1000.0, 1e-12);
+  EXPECT_NEAR(rows[0].total, 250.0e-9, 1e-18);
+  EXPECT_NEAR(rows[0].min, 240.0e-9, 1e-18);
+  EXPECT_EQ(rows[1].name, "BM_Slow");
+  EXPECT_NEAR(rows[1].total, 1.5e-3, 1e-12);
+
+  // Bench rows ride the gate like spans: a 2x slowdown on one kernel
+  // regresses (min_seconds 0 — per-iteration times are tiny by design).
+  auto current = rows;
+  current[0].total *= 2.0;
+  obs::CompareOptions opt;
+  opt.min_seconds = 0.0;
+  const auto result = obs::compare_summaries(rows, current, opt);
+  EXPECT_TRUE(result.regressed);
+  EXPECT_EQ(result.regressions(), 1u);
+}
+
+TEST(ObsCompare, ParseBenchmarkJsonBuildTypeFallback) {
+  const std::string json = R"({
+    "context": {"library_build_type": "debug"},
+    "benchmarks": []
+  })";
+  std::string build_type;
+  EXPECT_TRUE(obs::parse_benchmark_json(json, &build_type).empty());
+  EXPECT_EQ(build_type, "debug");
+}
+
+// ---------------------------------------------------------------------------
 // End to end: real comm instrumentation feeding the analyzer
 // ---------------------------------------------------------------------------
 

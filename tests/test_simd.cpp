@@ -1,0 +1,276 @@
+// Unit tests for the SIMD wrapper and the batched geometry kernels.
+//
+// The contract under test is *bit identity*: every wrapper operation must
+// produce, lane for lane, the exact bits a scalar loop applying the same
+// IEEE-754 expression would produce — including signed zeros, denormals,
+// and infinities — and every batched kernel must be bitwise equal between
+// its scalar and SIMD backends. EXPECT_EQ on doubles accepts -0.0 == +0.0,
+// so all comparisons here go through the bit pattern.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "geom/backend.hpp"
+#include "geom/kernels.hpp"
+#include "geom/predicates.hpp"
+#include "geom/vec3.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace simd = tess::util::simd;
+using simd::DVec;
+using tess::geom::TessBackend;
+using tess::geom::Vec3;
+using tess::util::Rng;
+
+namespace {
+
+std::uint64_t bits(double x) {
+  std::uint64_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+void expect_bits_eq(double a, double b, const char* what, std::size_t i) {
+  EXPECT_EQ(bits(a), bits(b)) << what << " lane/index " << i << ": " << a
+                              << " vs " << b;
+}
+
+// Awkward values: signed zeros, denormals, infinities, and magnitudes whose
+// products overflow/underflow — the cases where a shortcut implementation
+// (e.g. abs via multiply, max via arithmetic) diverges from IEEE semantics.
+const double kAwkward[] = {
+    0.0,
+    -0.0,
+    std::numeric_limits<double>::denorm_min(),
+    -std::numeric_limits<double>::denorm_min(),
+    std::numeric_limits<double>::min(),
+    -std::numeric_limits<double>::min(),
+    1.0,
+    -1.0,
+    1.5e308,
+    -1.5e308,
+    1e-300,
+    -1e-300,
+    std::numeric_limits<double>::infinity(),
+    -std::numeric_limits<double>::infinity(),
+    0x1.fffffffffffffp-1,  // just below 1: exercises rounding in products
+};
+
+}  // namespace
+
+TEST(SimdWrapper, ArithmeticMatchesScalarBitwise) {
+  Rng rng(11);
+  std::vector<double> va, vb;
+  for (double x : kAwkward)
+    for (double y : kAwkward) {
+      va.push_back(x);
+      vb.push_back(y);
+    }
+  for (int i = 0; i < 400; ++i) {
+    va.push_back(rng.uniform(-1e3, 1e3));
+    vb.push_back(rng.normal(0.0, 1e-4));
+  }
+  while (va.size() % simd::kLanes != 0) {
+    va.push_back(0.0);
+    vb.push_back(0.0);
+  }
+  for (std::size_t i = 0; i < va.size(); i += simd::kLanes) {
+    const DVec a = DVec::load(&va[i]);
+    const DVec b = DVec::load(&vb[i]);
+    const DVec sum = a + b, diff = a - b, prod = a * b;
+    for (std::size_t l = 0; l < simd::kLanes; ++l) {
+      expect_bits_eq(sum.lane(l), va[i + l] + vb[i + l], "add", i + l);
+      expect_bits_eq(diff.lane(l), va[i + l] - vb[i + l], "sub", i + l);
+      expect_bits_eq(prod.lane(l), va[i + l] * vb[i + l], "mul", i + l);
+    }
+  }
+}
+
+TEST(SimdWrapper, AbsMaxMatchScalarBitwise) {
+  for (double x : kAwkward)
+    for (double y : kAwkward) {
+      const DVec a = DVec::set(x, y, x, y);
+      const DVec b = DVec::set(y, x, y, x);
+      const DVec av = simd::abs(a);
+      const DVec mx = simd::max(a, b);
+      for (std::size_t l = 0; l < simd::kLanes; ++l) {
+        expect_bits_eq(av.lane(l), std::fabs(a.lane(l)), "abs", l);
+        // The contract is the scalar selection `a > b ? a : b`, bit for bit
+        // (so max(-0.0, +0.0) == +0.0 and max(+0.0, -0.0) == -0.0).
+        const double want = a.lane(l) > b.lane(l) ? a.lane(l) : b.lane(l);
+        expect_bits_eq(mx.lane(l), want, "max", l);
+      }
+    }
+  // abs must clear only the sign bit: denormals pass through unchanged.
+  const double dm = std::numeric_limits<double>::denorm_min();
+  EXPECT_EQ(bits(simd::abs(DVec::broadcast(-dm)).lane(2)), bits(dm));
+  EXPECT_EQ(bits(simd::abs(DVec::broadcast(-0.0)).lane(0)), bits(0.0));
+}
+
+TEST(SimdWrapper, ComparisonsAndHmax) {
+  const DVec a = DVec::set(1.0, -0.0, 3.0, -2.0);
+  const DVec b = DVec::set(0.5, 0.0, 3.0, -1.0);
+  const simd::Mask gt = a > b;
+  EXPECT_TRUE(gt.lane(0));
+  EXPECT_FALSE(gt.lane(1));  // -0.0 > +0.0 is false
+  EXPECT_FALSE(gt.lane(2));
+  EXPECT_FALSE(gt.lane(3));
+  EXPECT_TRUE(gt.any());
+  EXPECT_FALSE(gt.all());
+  const simd::Mask le = a <= b;
+  EXPECT_FALSE(le.lane(0));
+  EXPECT_TRUE(le.lane(1));
+  EXPECT_TRUE(le.lane(2));
+  EXPECT_TRUE(le.lane(3));
+  EXPECT_EQ(simd::hmax(a), 3.0);
+  EXPECT_EQ(simd::hmax(DVec::broadcast(-7.0)), -7.0);
+}
+
+// ---------------------------------------------------------------------------
+// Batched kernels: scalar backend vs SIMD backend, bitwise.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Cloud {
+  std::vector<double> x, y, z;
+  std::vector<Vec3> verts;
+};
+
+// Sizes straddling the lane width on purpose (remainder handling).
+Cloud make_cloud(std::size_t n, double scale, std::uint64_t seed) {
+  Rng rng(seed);
+  Cloud c;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 p{rng.uniform(-scale, scale), rng.uniform(-scale, scale),
+                 rng.uniform(-scale, scale)};
+    c.x.push_back(p.x);
+    c.y.push_back(p.y);
+    c.z.push_back(p.z);
+    c.verts.push_back(p);
+  }
+  return c;
+}
+
+}  // namespace
+
+TEST(BatchedKernels, Dist2BatchBitwiseParity) {
+  namespace kernels = tess::geom::kernels;
+  for (std::size_t n : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 63u, 256u}) {
+    const Cloud c = make_cloud(n, 10.0, 100 + n);
+    const Vec3 site{0.25, -3.5, 1e-3};
+    std::vector<double> ds(n, -1.0), dv(n, -2.0);
+    kernels::dist2_batch(TessBackend::kScalar, c.x.data(), c.y.data(),
+                         c.z.data(), n, site, ds.data());
+    kernels::dist2_batch(TessBackend::kSimd, c.x.data(), c.y.data(), c.z.data(),
+                         n, site, dv.data());
+    for (std::size_t i = 0; i < n; ++i)
+      expect_bits_eq(ds[i], dv[i], "dist2", i);
+  }
+}
+
+TEST(BatchedKernels, PlaneDistancesBitwiseParity) {
+  namespace kernels = tess::geom::kernels;
+  for (std::size_t n : {0u, 1u, 4u, 6u, 37u, 128u}) {
+    const Cloud c = make_cloud(n, 5.0, 200 + n);
+    const Vec3 normal{0.3, -0.9, 0.316};
+    const double d = -1.75;
+    std::vector<double> ds(n), dv(n);
+    double amax_s = -1.0, amax_v = -2.0;
+    kernels::plane_distances(TessBackend::kScalar, c.verts.data(), n, normal, d,
+                             ds.data(), &amax_s);
+    kernels::plane_distances(TessBackend::kSimd, c.verts.data(), n, normal, d,
+                             dv.data(), &amax_v);
+    for (std::size_t i = 0; i < n; ++i)
+      expect_bits_eq(ds[i], dv[i], "plane_dist", i);
+    expect_bits_eq(amax_s, amax_v, "abs_max", n);
+  }
+}
+
+TEST(BatchedKernels, ScreenCandidatesParity) {
+  namespace kernels = tess::geom::kernels;
+  Rng rng(31);
+  for (std::size_t n : {0u, 1u, 5u, 64u, 255u}) {
+    std::vector<double> d2;
+    std::vector<int> idx;
+    for (std::size_t i = 0; i < n; ++i) {
+      d2.push_back(rng.uniform(0.0, 2.0));
+      idx.push_back(static_cast<int>(i));
+    }
+    const double limit = 1.0;
+    std::vector<std::pair<double, int>> ks, kv;
+    const std::size_t cs = kernels::screen_candidates(
+        TessBackend::kScalar, d2.data(), idx.data(), n, limit, ks);
+    const std::size_t cv = kernels::screen_candidates(
+        TessBackend::kSimd, d2.data(), idx.data(), n, limit, kv);
+    EXPECT_EQ(cs, cv) << "n=" << n;
+    ASSERT_EQ(ks.size(), kv.size()) << "n=" << n;
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      expect_bits_eq(ks[i].first, kv[i].first, "screen d2", i);
+      EXPECT_EQ(ks[i].second, kv[i].second) << "screen idx " << i;
+    }
+    // The screen keeps exactly the <= limit entries, in input order.
+    std::size_t expect_kept = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (d2[i] <= limit) ++expect_kept;
+    EXPECT_EQ(cs, expect_kept);
+  }
+}
+
+TEST(BatchedKernels, Orient3dBatchSignParity) {
+  // Sign identity between the batched filter (+ exact fallback) and the
+  // scalar orient3d, on random points AND near-degenerate ones that force
+  // the semi-static filter to fall back to exact arithmetic.
+  Rng rng(57);
+  const Vec3 a{0.0, 0.0, 0.0}, b{1.0, 0.0, 0.0}, c{0.0, 1.0, 0.0};
+  std::vector<double> dx, dy, dz;
+  for (int i = 0; i < 300; ++i) {
+    dx.push_back(rng.uniform(-2.0, 2.0));
+    dy.push_back(rng.uniform(-2.0, 2.0));
+    dz.push_back(rng.uniform(-2.0, 2.0));
+  }
+  // Near-coplanar: z within a few ulps of the abc plane (z == 0).
+  for (int i = 0; i < 64; ++i) {
+    dx.push_back(rng.uniform(-1.0, 1.0));
+    dy.push_back(rng.uniform(-1.0, 1.0));
+    dz.push_back(static_cast<double>(i - 32) * 1e-320);
+  }
+  // Exactly coplanar.
+  for (int i = 0; i < 8; ++i) {
+    dx.push_back(0.25 * i);
+    dy.push_back(0.5);
+    dz.push_back(0.0);
+  }
+  const std::size_t n = dx.size();
+  std::vector<int> simd_sign(n, 99), scalar_sign(n, -99);
+  tess::geom::orient3d_batch(TessBackend::kSimd, a, b, c, dx.data(), dy.data(),
+                             dz.data(), n, simd_sign.data());
+  tess::geom::orient3d_batch(TessBackend::kScalar, a, b, c, dx.data(),
+                             dy.data(), dz.data(), n, scalar_sign.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    const int want = tess::geom::orient3d(
+        a, b, c, Vec3{dx[i], dy[i], dz[i]});
+    EXPECT_EQ(simd_sign[i], want) << "simd orient3d_batch at " << i;
+    EXPECT_EQ(scalar_sign[i], want) << "scalar orient3d_batch at " << i;
+  }
+}
+
+TEST(BackendResolution, ExplicitChoiceBeatsEnvironment) {
+  using tess::geom::resolve_backend;
+  // Explicit backends resolve to themselves regardless of TESS_GEOM_BACKEND
+  // (the env override applies only to kAuto, so CI parity legs that export
+  // TESS_GEOM_BACKEND=simd still compare scalar vs simd).
+  EXPECT_EQ(resolve_backend(TessBackend::kScalar), TessBackend::kScalar);
+  EXPECT_EQ(resolve_backend(TessBackend::kSimd), TessBackend::kSimd);
+  const TessBackend from_env = resolve_backend(TessBackend::kAuto);
+  EXPECT_TRUE(from_env == TessBackend::kScalar ||
+              from_env == TessBackend::kSimd);
+  EXPECT_STREQ(tess::geom::to_string(TessBackend::kScalar), "scalar");
+  EXPECT_STREQ(tess::geom::to_string(TessBackend::kSimd), "simd");
+}

@@ -54,6 +54,19 @@ bool ends_with(const std::string& s, const char* suffix) {
 std::vector<tess::obs::SummaryRow> load_summary(const std::string& path) {
   const std::string text = read_file(path);
   if (ends_with(path, ".tsv")) return tess::obs::parse_summary_tsv(text);
+  // google-benchmark --benchmark_out files carry a "benchmarks" array; obs
+  // summaries never do. Route them through the bench parser and flag files
+  // recorded from a debug build — their numbers poison the gate silently.
+  if (text.find("\"benchmarks\"") != std::string::npos) {
+    std::string build_type;
+    auto rows = tess::obs::parse_benchmark_json(text, &build_type);
+    if (build_type == "debug")
+      std::cerr << "obs_compare: WARNING: '" << path
+                << "' was recorded from a DEBUG build; its numbers are not "
+                   "comparable to release baselines (re-record with "
+                   "-DCMAKE_BUILD_TYPE=Release)\n";
+    return rows;
+  }
   return tess::obs::parse_summary_json(text);
 }
 
