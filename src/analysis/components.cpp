@@ -15,11 +15,24 @@ std::size_t ConnectedComponents::find(std::size_t i) const {
 }
 
 ConnectedComponents::ConnectedComponents(const std::vector<core::BlockMesh>& blocks) {
+  std::vector<const core::BlockMesh*> ptrs;
+  ptrs.reserve(blocks.size());
+  for (const auto& mesh : blocks) ptrs.push_back(&mesh);
+  build(ptrs);
+}
+
+ConnectedComponents::ConnectedComponents(
+    const std::vector<const core::BlockMesh*>& blocks) {
+  build(blocks);
+}
+
+void ConnectedComponents::build(
+    const std::vector<const core::BlockMesh*>& blocks) {
   TESS_SPAN("analysis.components");
   // Index the present cells.
   std::vector<double> volume;
-  for (const auto& mesh : blocks)
-    for (const auto& c : mesh.cells) {
+  for (const auto* mesh : blocks)
+    for (const auto& c : mesh->cells) {
       if (index_of_site_.contains(c.site_id)) continue;  // defensive dedup
       index_of_site_.emplace(c.site_id, site_of_index_.size());
       site_of_index_.push_back(c.site_id);
@@ -34,11 +47,11 @@ ConnectedComponents::ConnectedComponents(const std::vector<core::BlockMesh>& blo
     b = find(b);
     if (a != b) parent_[b] = a;
   };
-  for (const auto& mesh : blocks)
-    for (const auto& c : mesh.cells) {
+  for (const auto* mesh : blocks)
+    for (const auto& c : mesh->cells) {
       const auto me = index_of_site_.at(c.site_id);
       for (std::uint32_t f = c.first_face; f < c.first_face + c.num_faces; ++f) {
-        const auto nb = mesh.face_neighbors[f];
+        const auto nb = mesh->face_neighbors[f];
         if (nb < 0) continue;
         const auto it = index_of_site_.find(nb);
         if (it != index_of_site_.end()) unite(me, it->second);

@@ -28,6 +28,13 @@ class ConnectedComponents {
   /// filtered). Face adjacency toward absent cells is ignored.
   explicit ConnectedComponents(const std::vector<core::BlockMesh>& blocks);
 
+  /// Snapshot-safe variant over non-owning blocks (serve::Snapshot hands
+  /// these out); identical labeling to the owning overload. All const
+  /// accessors below only read state finalized here, so a fully
+  /// constructed labeling is safe to query from many threads at once.
+  explicit ConnectedComponents(
+      const std::vector<const core::BlockMesh*>& blocks);
+
   /// Component label for a site id, or -1 if the cell is absent.
   [[nodiscard]] std::int64_t label_of(std::int64_t site_id) const;
 
@@ -44,6 +51,7 @@ class ConnectedComponents {
   [[nodiscard]] std::vector<std::array<std::int64_t, 2>> labeled_sites() const;
 
  private:
+  void build(const std::vector<const core::BlockMesh*>& blocks);
   std::size_t find(std::size_t i) const;
 
   std::unordered_map<std::int64_t, std::size_t> index_of_site_;

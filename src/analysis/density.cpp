@@ -4,18 +4,31 @@
 
 namespace tess::analysis {
 
-std::vector<double> cell_volumes(const std::vector<core::BlockMesh>& blocks) {
+namespace {
+
+std::vector<const core::BlockMesh*> as_pointers(
+    const std::vector<core::BlockMesh>& blocks) {
+  std::vector<const core::BlockMesh*> ptrs;
+  ptrs.reserve(blocks.size());
+  for (const auto& mesh : blocks) ptrs.push_back(&mesh);
+  return ptrs;
+}
+
+}  // namespace
+
+std::vector<double> cell_volumes(
+    const std::vector<const core::BlockMesh*>& blocks) {
   std::vector<double> v;
-  for (const auto& mesh : blocks)
-    for (const auto& c : mesh.cells) v.push_back(c.volume);
+  for (const auto* mesh : blocks)
+    for (const auto& c : mesh->cells) v.push_back(c.volume);
   return v;
 }
 
-std::vector<double> density_contrast(const std::vector<core::BlockMesh>& blocks,
-                                     double mean_density) {
+std::vector<double> density_contrast(
+    const std::vector<const core::BlockMesh*>& blocks, double mean_density) {
   std::vector<double> d;
-  for (const auto& mesh : blocks)
-    for (const auto& c : mesh.cells)
+  for (const auto* mesh : blocks)
+    for (const auto& c : mesh->cells)
       if (c.volume > 0.0) d.push_back(1.0 / c.volume);
   if (mean_density <= 0.0) {
     double sum = 0.0;
@@ -26,17 +39,18 @@ std::vector<double> density_contrast(const std::vector<core::BlockMesh>& blocks,
   return d;
 }
 
-util::Histogram volume_histogram(const std::vector<core::BlockMesh>& blocks,
-                                 double lo, double hi, std::size_t bins) {
+util::Histogram volume_histogram(
+    const std::vector<const core::BlockMesh*>& blocks, double lo, double hi,
+    std::size_t bins) {
   util::Histogram h(lo, hi, bins);
-  for (const auto& mesh : blocks)
-    for (const auto& c : mesh.cells) h.add(c.volume);
+  for (const auto* mesh : blocks)
+    for (const auto& c : mesh->cells) h.add(c.volume);
   return h;
 }
 
 util::Histogram density_contrast_histogram(
-    const std::vector<core::BlockMesh>& blocks, std::size_t bins, double lo,
-    double hi) {
+    const std::vector<const core::BlockMesh*>& blocks, std::size_t bins,
+    double lo, double hi) {
   const auto d = density_contrast(blocks);
   if (lo >= hi) {
     const auto [mn, mx] = std::minmax_element(d.begin(), d.end());
@@ -46,6 +60,26 @@ util::Histogram density_contrast_histogram(
   util::Histogram h(lo, hi, bins);
   for (double x : d) h.add(x);
   return h;
+}
+
+std::vector<double> cell_volumes(const std::vector<core::BlockMesh>& blocks) {
+  return cell_volumes(as_pointers(blocks));
+}
+
+std::vector<double> density_contrast(const std::vector<core::BlockMesh>& blocks,
+                                     double mean_density) {
+  return density_contrast(as_pointers(blocks), mean_density);
+}
+
+util::Histogram volume_histogram(const std::vector<core::BlockMesh>& blocks,
+                                 double lo, double hi, std::size_t bins) {
+  return volume_histogram(as_pointers(blocks), lo, hi, bins);
+}
+
+util::Histogram density_contrast_histogram(
+    const std::vector<core::BlockMesh>& blocks, std::size_t bins, double lo,
+    double hi) {
+  return density_contrast_histogram(as_pointers(blocks), bins, lo, hi);
 }
 
 }  // namespace tess::analysis

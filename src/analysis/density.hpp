@@ -33,4 +33,20 @@ util::Histogram density_contrast_histogram(
     const std::vector<core::BlockMesh>& blocks, std::size_t bins,
     double lo = 0.0, double hi = 0.0);
 
+// Snapshot-safe variants over non-owning block lists: identical results to
+// the owning overloads above, usable directly against the immutable blocks
+// a serve::Snapshot hands out (no copies, no mutation, safe to call from
+// many reader threads at once).
+std::vector<double> cell_volumes(
+    const std::vector<const core::BlockMesh*>& blocks);
+std::vector<double> density_contrast(
+    const std::vector<const core::BlockMesh*>& blocks,
+    double mean_density = 0.0);
+util::Histogram volume_histogram(
+    const std::vector<const core::BlockMesh*>& blocks, double lo, double hi,
+    std::size_t bins);
+util::Histogram density_contrast_histogram(
+    const std::vector<const core::BlockMesh*>& blocks, std::size_t bins,
+    double lo = 0.0, double hi = 0.0);
+
 }  // namespace tess::analysis

@@ -97,16 +97,36 @@ void BlockMesh::serialize(diy::Buffer& buf) const {
   buf.write_vector(face_neighbors);
 }
 
-BlockMesh BlockMesh::deserialize(diy::Buffer& buf) {
+namespace {
+
+template <typename Source>
+BlockMesh deserialize_from(Source& buf) {
   BlockMesh m;
-  m.bounds.min = buf.read<Vec3>();
-  m.bounds.max = buf.read<Vec3>();
-  m.vertices = buf.read_vector<Vec3>();
-  m.cells = buf.read_vector<CellRecord>();
-  m.face_offsets = buf.read_vector<std::uint32_t>();
-  m.face_verts = buf.read_vector<std::uint32_t>();
-  m.face_neighbors = buf.read_vector<std::int64_t>();
+  m.bounds.min = buf.template read<Vec3>();
+  m.bounds.max = buf.template read<Vec3>();
+  m.vertices = buf.template read_vector<Vec3>();
+  m.cells = buf.template read_vector<CellRecord>();
+  m.face_offsets = buf.template read_vector<std::uint32_t>();
+  m.face_verts = buf.template read_vector<std::uint32_t>();
+  m.face_neighbors = buf.template read_vector<std::int64_t>();
   return m;
+}
+
+}  // namespace
+
+BlockMesh BlockMesh::deserialize(diy::Buffer& buf) {
+  return deserialize_from(buf);
+}
+
+BlockMesh BlockMesh::deserialize(diy::BufferView& buf) {
+  return deserialize_from(buf);
+}
+
+diy::Bounds BlockMesh::peek_bounds(diy::BufferView buf) {
+  diy::Bounds b;
+  b.min = buf.read<Vec3>();
+  b.max = buf.read<Vec3>();
+  return b;
 }
 
 }  // namespace tess::core

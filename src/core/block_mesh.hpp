@@ -69,6 +69,14 @@ class BlockMesh {
 
   void serialize(diy::Buffer& buf) const;
   static BlockMesh deserialize(diy::Buffer& buf);
+  /// Zero-copy deserialization straight out of a memory-mapped block
+  /// (diy::MappedBlockFile::block_view) — same wire format as above.
+  static BlockMesh deserialize(diy::BufferView& buf);
+
+  /// Read just the block bounds from serialized bytes (they lead the wire
+  /// format), letting a reader route spatial queries to blocks without
+  /// deserializing any of them.
+  static diy::Bounds peek_bounds(diy::BufferView buf);
 
  private:
   [[nodiscard]] std::uint32_t weld_vertex(const Vec3& v);

@@ -74,4 +74,52 @@ class Buffer {
   std::size_t pos_ = 0;
 };
 
+/// Non-owning read cursor over externally managed bytes — the zero-copy
+/// counterpart of Buffer's read side, used to deserialize blocks directly
+/// out of a memory-mapped file (diy::MappedBlockFile) without staging them
+/// through a heap copy. The caller guarantees the bytes outlive the view.
+class BufferView {
+ public:
+  BufferView(const std::byte* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+
+  template <typename T>
+  T read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> read_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = read<std::uint64_t>();
+    require(n * sizeof(T));
+    std::vector<T> v(n);
+    if (n > 0) std::memcpy(v.data(), data_ + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+ private:
+  void require(std::size_t bytes) const {
+    if (pos_ + bytes > size_)
+      throw std::runtime_error("BufferView: read past end (offset " +
+                               std::to_string(pos_) + " + " +
+                               std::to_string(bytes) + " > " +
+                               std::to_string(size_) + ")");
+  }
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace tess::diy

@@ -1,0 +1,106 @@
+#include "serve/cache.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tess::serve {
+
+SnapshotCache::SnapshotCache(const CacheConfig& config) : config_(config) {
+  if (config_.max_snapshots == 0) config_.max_snapshots = 1;
+}
+
+std::shared_ptr<const Snapshot> SnapshotCache::acquire(
+    const std::string& path) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(path);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      entry = *it->second;
+      ++stats_.hits;
+      TESS_COUNT("serve.cache.hit", 1);
+    } else {
+      entry = std::make_shared<Entry>();
+      entry->path = path;
+      lru_.push_front(entry);
+      index_.emplace(path, lru_.begin());
+      ++stats_.misses;
+      TESS_COUNT("serve.cache.miss", 1);
+    }
+    enforce_capacity_locked();
+    TESS_GAUGE_SET("serve.cache.resident", lru_.size());
+  }
+
+  try {
+    std::call_once(entry->once, [&] {
+      TESS_SPAN("serve.cache.open");
+      entry->snapshot = std::make_shared<const Snapshot>(path);
+      entry->bytes.store(entry->snapshot->file_bytes(),
+                         std::memory_order_relaxed);
+    });
+  } catch (...) {
+    // A failed open must not leave a poisoned entry other acquires would
+    // keep tripping over; drop it if it is still ours.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(path);
+    if (it != index_.end() && *it->second == entry) {
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+    throw;
+  }
+  return entry->snapshot;
+}
+
+void SnapshotCache::enforce_capacity_locked() {
+  auto evict_back = [&] {
+    const auto& victim = lru_.back();
+    index_.erase(victim->path);
+    lru_.pop_back();
+    ++stats_.evictions;
+    TESS_COUNT("serve.cache.evict", 1);
+  };
+  while (lru_.size() > config_.max_snapshots) evict_back();
+  if (config_.max_bytes == 0) return;
+  // Entries still opening report 0 bytes (set at the end of the open), so
+  // the byte cap takes effect from the next acquire after an open lands.
+  auto total = [&] {
+    std::uint64_t sum = 0;
+    for (const auto& e : lru_) sum += e->bytes.load(std::memory_order_relaxed);
+    return sum;
+  };
+  while (lru_.size() > 1 && total() > config_.max_bytes) evict_back();
+}
+
+void SnapshotCache::evict(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(path);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++stats_.evictions;
+  TESS_COUNT("serve.cache.evict", 1);
+  TESS_GAUGE_SET("serve.cache.resident", lru_.size());
+}
+
+void SnapshotCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.evictions += lru_.size();
+  TESS_COUNT("serve.cache.evict", lru_.size());
+  lru_.clear();
+  index_.clear();
+  TESS_GAUGE_SET("serve.cache.resident", 0);
+}
+
+std::size_t SnapshotCache::resident() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+SnapshotCache::Stats SnapshotCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace tess::serve

@@ -1,0 +1,77 @@
+// Ref-counted snapshot cache with LRU eviction (DESIGN.md §4.12).
+//
+// acquire(path) returns a shared_ptr to the (immutable) Snapshot for that
+// file, opening and inserting it on miss. The cache holds one reference
+// per resident snapshot; eviction — when the resident count exceeds
+// max_snapshots or the summed mapped bytes exceed max_bytes — only drops
+// the cache's reference. Queries still holding the shared_ptr keep the
+// snapshot (and its mmap) alive until they finish, so eviction can never
+// invalidate an in-flight query; the file is simply re-opened and re-read
+// on the next acquire. Opening happens outside the cache lock behind a
+// per-entry once_flag, so a slow open never blocks hits on other paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "serve/snapshot.hpp"
+
+namespace tess::serve {
+
+struct CacheConfig {
+  std::size_t max_snapshots = 4;   ///< resident snapshot cap (>= 1)
+  std::uint64_t max_bytes = 0;     ///< summed file_bytes cap (0 = unlimited)
+};
+
+class SnapshotCache {
+ public:
+  explicit SnapshotCache(const CacheConfig& config = {});
+
+  /// The snapshot for `path`, opened on miss. Throws what Snapshot's
+  /// constructor throws (missing or corrupt file); a failed open leaves no
+  /// cache entry behind.
+  std::shared_ptr<const Snapshot> acquire(const std::string& path);
+
+  /// Drop the cache's reference to `path` (no-op if absent). In-flight
+  /// queries keep their references.
+  void evict(const std::string& path);
+  void clear();
+
+  [[nodiscard]] std::size_t resident() const;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  // Entries go through the once_flag so concurrent acquires of the same
+  // path open the file exactly once; `snapshot` is written only inside
+  // call_once and read only after it.
+  struct Entry {
+    std::string path;
+    std::once_flag once;
+    std::shared_ptr<const Snapshot> snapshot;
+    /// file_bytes of the opened snapshot, published for the byte-cap check
+    /// (which runs under the cache mutex while an open may be in flight).
+    std::atomic<std::uint64_t> bytes{0};
+  };
+
+  void enforce_capacity_locked();
+
+  mutable std::mutex mutex_;
+  CacheConfig config_;
+  std::list<std::shared_ptr<Entry>> lru_;  ///< front = most recent
+  std::unordered_map<std::string, std::list<std::shared_ptr<Entry>>::iterator>
+      index_;
+  Stats stats_;
+};
+
+}  // namespace tess::serve

@@ -1,0 +1,112 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tess::serve {
+
+namespace {
+
+/// Stamps the per-kind latency histogram (microseconds) on scope exit.
+/// Looks the histogram up per call (names vary per query kind, so the
+/// TESS_HIST_ADD static-cache macro would bind to the wrong metric).
+class LatencyScope {
+ public:
+  explicit LatencyScope(const char* hist_name)
+      : name_(hist_name), t0_(std::chrono::steady_clock::now()) {}
+  ~LatencyScope() {
+#if TESS_OBS_ENABLED
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0_)
+                        .count();
+    obs::metrics().histogram(name_).add(static_cast<std::uint64_t>(us));
+#endif
+  }
+
+ private:
+  [[maybe_unused]] const char* name_;
+  [[maybe_unused]] std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
+
+QueryService::QueryService(const ServiceConfig& config)
+    : config_(config),
+      cache_(config.cache),
+      pool_(util::ThreadPool::resolve(config.threads)) {
+  if (config_.batch_grain == 0) config_.batch_grain = 1;
+}
+
+std::shared_ptr<const Snapshot> QueryService::snapshot(
+    const std::string& path) {
+  return cache_.acquire(path);
+}
+
+std::vector<PointLocation> QueryService::point_locate(
+    const std::string& path, const std::vector<Vec3>& points) {
+  TESS_SPAN("serve.query.point");
+  LatencyScope latency("serve.query.point.us");
+  TESS_COUNT("serve.query.point.count", points.size());
+  const auto snap = cache_.acquire(path);
+  std::vector<PointLocation> out(points.size());
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  util::parallel_for(pool_, points.size(), config_.batch_grain,
+                     [&](std::size_t begin, std::size_t end, int, int) {
+                       for (std::size_t i = begin; i < end; ++i)
+                         out[i] = snap->locate(points[i]);
+                     });
+  return out;
+}
+
+std::vector<std::int64_t> QueryService::void_lookup(
+    const std::string& path, const std::vector<Vec3>& points,
+    double min_volume) {
+  TESS_SPAN("serve.query.void");
+  LatencyScope latency("serve.query.void.us");
+  TESS_COUNT("serve.query.void.count", points.size());
+  const auto snap = cache_.acquire(path);
+  // Materialize the catalog once, before fanning out; the per-point path
+  // then only does locate + a hash lookup.
+  const auto catalog = snap->voids(min_volume);
+  std::vector<std::int64_t> out(points.size());
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  util::parallel_for(
+      pool_, points.size(), config_.batch_grain,
+      [&](std::size_t begin, std::size_t end, int, int) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto loc = snap->locate(points[i]);
+          out[i] =
+              loc.found() ? catalog->components->label_of(loc.site_id) : -1;
+        }
+      });
+  return out;
+}
+
+core::BlockMesh QueryService::extract_region(const std::string& path,
+                                             const diy::Bounds& box) {
+  TESS_SPAN("serve.query.region");
+  LatencyScope latency("serve.query.region.us");
+  TESS_COUNT("serve.query.region.count", 1);
+  return cache_.acquire(path)->extract_region(box);
+}
+
+util::Histogram QueryService::volume_histogram(const std::string& path,
+                                               double lo, double hi,
+                                               std::size_t bins) {
+  TESS_SPAN("serve.query.hist");
+  LatencyScope latency("serve.query.hist.us");
+  TESS_COUNT("serve.query.hist.count", 1);
+  return cache_.acquire(path)->volume_histogram(lo, hi, bins);
+}
+
+util::Histogram QueryService::density_contrast_histogram(
+    const std::string& path, std::size_t bins) {
+  TESS_SPAN("serve.query.hist");
+  LatencyScope latency("serve.query.hist.us");
+  TESS_COUNT("serve.query.hist.count", 1);
+  return cache_.acquire(path)->density_contrast_histogram(bins);
+}
+
+}  // namespace tess::serve

@@ -3,7 +3,11 @@
 // handling on malformed files.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 
@@ -21,8 +25,11 @@ using tess::diy::write_blocks;
 
 namespace {
 
+// PID-qualified: gtest_discover_tests runs each case as its own process,
+// so concurrent ctest workers must not share scratch files.
 std::string temp_path(const std::string& tag) {
-  return ::testing::TempDir() + "tess_blockio_" + tag + ".bin";
+  return ::testing::TempDir() + "tess_blockio_" + tag + "_" +
+         std::to_string(::getpid()) + ".bin";
 }
 
 }  // namespace
@@ -137,4 +144,170 @@ TEST(BlockIo, OutOfRangeBlockThrows) {
   EXPECT_THROW(reader.read_block(2), std::out_of_range);
   EXPECT_THROW(reader.read_block(-1), std::out_of_range);
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Footer validation: every malformed-file class the reader must reject with
+// a diagnostic instead of undefined behavior. The mmap path goes through
+// the same BlockFileReader index, so each corruption is probed both ways.
+
+namespace {
+
+// Write a well-formed two-block file and return its path.
+std::string valid_file(const std::string& tag) {
+  const auto path = temp_path(tag);
+  Runtime::run(2, [&](Comm& c) {
+    Buffer block;
+    block.write<int>(c.rank() + 100);
+    block.write_vector(std::vector<double>{1.0, 2.0, 3.0});
+    write_blocks(c, path, block);
+  });
+  return path;
+}
+
+std::uint64_t file_size_of(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  return static_cast<std::uint64_t>(f.tellg());
+}
+
+// Overwrite the 8-byte word at `offset` in place.
+void patch_word(const std::string& path, std::uint64_t offset,
+                std::uint64_t value) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void truncate_to(const std::string& path, std::uint64_t size) {
+  std::string bytes(size, '\0');
+  {
+    std::ifstream f(path, std::ios::binary);
+    f.read(bytes.data(), static_cast<std::streamsize>(size));
+  }
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(size));
+}
+
+// The corruption must be caught by the pread reader and the mmap reader
+// alike, with the "corrupt tess block file" diagnostic.
+void expect_rejected(const std::string& path) {
+  try {
+    BlockFileReader reader(path);
+    FAIL() << "BlockFileReader accepted a corrupt file";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt tess block file"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(tess::diy::MappedBlockFile mapped(path), std::runtime_error);
+}
+
+}  // namespace
+
+TEST(BlockIoValidation, RejectsTruncatedBelowMinimum) {
+  const auto path = valid_file("trunc_min");
+  truncate_to(path, 20);  // below the 32-byte empty-file minimum
+  expect_rejected(path);
+  std::remove(path.c_str());
+}
+
+TEST(BlockIoValidation, RejectsTruncatedTrailer) {
+  const auto path = valid_file("trunc_tail");
+  truncate_to(path, file_size_of(path) - 8);  // trailer magic gone
+  expect_rejected(path);
+  std::remove(path.c_str());
+}
+
+TEST(BlockIoValidation, RejectsBadHeaderMagic) {
+  const auto path = valid_file("head_magic");
+  patch_word(path, 0, 0xdeadbeefULL);
+  expect_rejected(path);
+  std::remove(path.c_str());
+}
+
+TEST(BlockIoValidation, RejectsFooterOffsetOutOfRange) {
+  const auto path = valid_file("footer_off");
+  const auto size = file_size_of(path);
+  // The footer offset lives 16 bytes from the end (before the trailer
+  // magic). Point it past the end of the file, then before the header.
+  patch_word(path, size - 16, size + 1024);
+  expect_rejected(path);
+  patch_word(path, size - 16, 0);
+  expect_rejected(path);
+  std::remove(path.c_str());
+}
+
+TEST(BlockIoValidation, RejectsBlockCountMismatch) {
+  const auto path = valid_file("count");
+  const auto size = file_size_of(path);
+  // Two blocks -> footer = count + 2 pairs + footer_off + magic = 7 words.
+  const auto footer_off = size - 7 * 8;
+  patch_word(path, footer_off, 5);  // claims 5 blocks, room for 2
+  expect_rejected(path);
+  std::remove(path.c_str());
+}
+
+TEST(BlockIoValidation, RejectsOutOfRangeBlockExtent) {
+  const auto path = valid_file("extent");
+  const auto size = file_size_of(path);
+  const auto footer_off = size - 7 * 8;
+  // Block 0's size: larger than the whole data region.
+  patch_word(path, footer_off + 2 * 8, size * 2);
+  expect_rejected(path);
+  // Block 0's offset: inside the header.
+  patch_word(path, footer_off + 1 * 8, 0);
+  expect_rejected(path);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Memory-mapped reads
+
+TEST(BlockIoMmap, ViewMatchesPreadReader) {
+  const auto path = temp_path("mmap_parity");
+  Runtime::run(3, [&](Comm& c) {
+    Buffer block;
+    block.write<int>(c.rank() * 7);
+    std::vector<double> payload(static_cast<std::size_t>(c.rank()) + 1,
+                                0.5 * c.rank());
+    block.write_vector(payload);
+    write_blocks(c, path, block);
+  });
+
+  BlockFileReader reader(path);
+  tess::diy::MappedBlockFile mapped(path);
+  ASSERT_EQ(mapped.num_blocks(), 3);
+  EXPECT_EQ(mapped.file_size(), file_size_of(path));
+  for (int b = 0; b < 3; ++b) {
+    ASSERT_EQ(mapped.block_size(b), reader.block_size(b));
+    const auto bytes = reader.read_block(b).data();
+    EXPECT_EQ(std::memcmp(mapped.block_data(b), bytes.data(), bytes.size()),
+              0);
+    auto view = mapped.block_view(b);
+    EXPECT_EQ(view.read<int>(), b * 7);
+    const auto payload = view.read_vector<double>();
+    ASSERT_EQ(payload.size(), static_cast<std::size_t>(b) + 1);
+    EXPECT_DOUBLE_EQ(payload[0], 0.5 * b);
+    EXPECT_TRUE(view.exhausted());
+  }
+  EXPECT_THROW((void)mapped.block_view(3), std::out_of_range);
+  EXPECT_THROW((void)mapped.block_view(-1), std::out_of_range);
+  std::remove(path.c_str());
+}
+
+TEST(BlockIoMmap, BufferViewBoundsChecked) {
+  // The view covers only 12 of the 16 backing bytes: reads past the view's
+  // size must throw without advancing the cursor.
+  std::byte bytes[16] = {};
+  bytes[0] = std::byte{42};
+  tess::diy::BufferView view(bytes, 12);
+  EXPECT_EQ(view.read<std::uint32_t>(), 42u);
+  EXPECT_EQ(view.read<std::uint32_t>(), 0u);
+  EXPECT_EQ(view.position(), 8u);
+  EXPECT_FALSE(view.exhausted());
+  EXPECT_THROW(view.read<std::uint64_t>(), std::runtime_error);
+  EXPECT_EQ(view.position(), 8u);  // failed read leaves the cursor put
+  EXPECT_EQ(view.read<std::uint32_t>(), 0u);
+  EXPECT_TRUE(view.exhausted());
+  EXPECT_THROW(view.read<std::uint32_t>(), std::runtime_error);
 }

@@ -1,0 +1,460 @@
+// Tests for the mesh query service (DESIGN.md §4.12): snapshot lazy
+// loading, point location vs brute force, region extraction, histogram
+// parity with src/analysis, void lookups, snapshot-cache semantics, and —
+// under TSan via the Serve* name prefix — eviction racing live readers.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "analysis/density.hpp"
+#include "analysis/reader.hpp"
+#include "comm/comm.hpp"
+#include "core/standalone.hpp"
+#include "diy/blockio.hpp"
+#include "serve/cache.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+
+using tess::comm::Comm;
+using tess::comm::Runtime;
+using tess::core::BlockMesh;
+using tess::core::TessOptions;
+using tess::diy::Decomposition;
+using tess::diy::Particle;
+using tess::geom::Vec3;
+using tess::serve::CacheConfig;
+using tess::serve::PointLocation;
+using tess::serve::QueryService;
+using tess::serve::ServiceConfig;
+using tess::serve::Snapshot;
+using tess::serve::SnapshotCache;
+
+namespace {
+
+std::vector<Particle> jittered_lattice(int n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> jit(-0.3, 0.3);
+  std::vector<Particle> ps;
+  std::int64_t id = 0;
+  for (int z = 0; z < n; ++z)
+    for (int y = 0; y < n; ++y)
+      for (int x = 0; x < n; ++x)
+        ps.push_back({{x + 0.5 + jit(rng), y + 0.5 + jit(rng),
+                       z + 0.5 + jit(rng)},
+                      id++});
+  return ps;
+}
+
+// Tessellate an n^3 jittered lattice on nranks blocks and write the blocked
+// file. Files are built once per process and reused across tests.
+std::string write_snapshot_file(const std::string& tag, int nranks,
+                                std::array<int, 3> dims, int n,
+                                bool periodic) {
+  // PID-qualified: gtest_discover_tests runs each case as its own process,
+  // so concurrent ctest workers must not share scratch files.
+  const auto path = ::testing::TempDir() + "tess_serve_" + tag + "_" +
+                    std::to_string(::getpid()) + ".bin";
+  static std::mutex mu;
+  static std::vector<std::string> built;
+  std::lock_guard<std::mutex> lock(mu);
+  if (std::find(built.begin(), built.end(), path) != built.end()) return path;
+  Runtime::run(nranks, [&](Comm& c) {
+    const double L = static_cast<double>(n);
+    Decomposition d({0, 0, 0}, {L, L, L}, dims, periodic);
+    TessOptions opt;
+    opt.ghost = 2.0;
+    auto particles = c.rank() == 0 ? jittered_lattice(n, 1234u)
+                                   : std::vector<Particle>{};
+    auto mesh = tess::core::standalone_tessellate(c, d, std::move(particles),
+                                                  opt);
+    tess::diy::Buffer buf;
+    mesh.serialize(buf);
+    tess::diy::write_blocks(c, path, buf);
+  });
+  built.push_back(path);
+  return path;
+}
+
+std::string serial_file() {
+  return write_snapshot_file("serial", 1, {1, 1, 1}, 6, false);
+}
+std::string blocked_file() {
+  return write_snapshot_file("blocked", 8, {2, 2, 2}, 8, false);
+}
+std::string periodic_file() {
+  return write_snapshot_file("periodic", 8, {2, 2, 2}, 8, true);
+}
+
+// Nearest kept site over every block of the file — the ground truth locate
+// must reproduce. Same embedded (unwrapped) metric locate uses.
+struct BruteSite {
+  std::int64_t site_id = -1;
+  double d2 = std::numeric_limits<double>::infinity();
+};
+BruteSite brute_nearest(const std::vector<BlockMesh>& blocks, const Vec3& p) {
+  BruteSite best;
+  for (const auto& b : blocks)
+    for (const auto& c : b.cells) {
+      const double d2 = tess::geom::dist2(p, c.site);
+      if (d2 < best.d2) {
+        best.d2 = d2;
+        best.site_id = c.site_id;
+      }
+    }
+  return best;
+}
+
+std::vector<Vec3> random_points(std::size_t count, double lo, double hi,
+                                unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> u(lo, hi);
+  std::vector<Vec3> ps(count);
+  for (auto& p : ps) p = {u(rng), u(rng), u(rng)};
+  return ps;
+}
+
+void expect_same_locations(const std::vector<PointLocation>& a,
+                           const std::vector<PointLocation>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].block, b[i].block) << i;
+    EXPECT_EQ(a[i].site_id, b[i].site_id) << i;
+    EXPECT_EQ(a[i].cell, b[i].cell) << i;
+    EXPECT_EQ(a[i].site_dist2, b[i].site_dist2) << i;  // bitwise
+  }
+}
+
+}  // namespace
+
+TEST(ServeSnapshot, OpensLazily) {
+  Snapshot snap(blocked_file());
+  EXPECT_EQ(snap.num_blocks(), 8);
+  EXPECT_EQ(snap.blocks_loaded(), 0);  // open touches only bounds
+  EXPECT_EQ(snap.resident_bytes(), 0u);
+  for (int b = 0; b < snap.num_blocks(); ++b) {
+    const auto& bb = snap.block_bounds(b);
+    EXPECT_LT(bb.min.x, bb.max.x);
+    EXPECT_GE(bb.min.x, 0.0);
+    EXPECT_LE(bb.max.x, 8.0);
+  }
+  const auto& mesh = snap.block(3);
+  EXPECT_GT(mesh.cells.size(), 0u);
+  EXPECT_EQ(snap.blocks_loaded(), 1);
+  EXPECT_GT(snap.resident_bytes(), 0u);
+  EXPECT_GT(snap.file_bytes(), snap.resident_bytes());
+}
+
+TEST(ServeSnapshot, LocateMatchesBruteForceSerial) {
+  Snapshot snap(serial_file());
+  const auto blocks = tess::analysis::TessReader(serial_file()).read_all();
+  for (const auto& p : random_points(200, 0.0, 6.0, 99u)) {
+    const auto loc = snap.locate(p);
+    const auto ref = brute_nearest(blocks, p);
+    ASSERT_TRUE(loc.found());
+    EXPECT_EQ(loc.site_id, ref.site_id) << "point (" << p.x << ", " << p.y
+                                        << ", " << p.z << ")";
+    EXPECT_NEAR(loc.site_dist2, ref.d2, 1e-12);
+  }
+}
+
+TEST(ServeSnapshot, LocateMatchesBruteForceAcrossBlocks) {
+  Snapshot snap(blocked_file());
+  const auto blocks = tess::analysis::TessReader(blocked_file()).read_all();
+  for (const auto& p : random_points(200, 0.0, 8.0, 7u)) {
+    const auto loc = snap.locate(p);
+    const auto ref = brute_nearest(blocks, p);
+    ASSERT_TRUE(loc.found());
+    EXPECT_EQ(loc.site_id, ref.site_id) << "point (" << p.x << ", " << p.y
+                                        << ", " << p.z << ")";
+    EXPECT_NEAR(loc.site_dist2, ref.d2, 1e-12);
+  }
+}
+
+TEST(ServeSnapshot, LocatePeriodicInterior) {
+  // On periodic files locate measures embedded (unwrapped) distance, so
+  // only interior points — beyond a cell width of the boundary, where no
+  // wrapped image can be the nearest site — have brute-force semantics.
+  Snapshot snap(periodic_file());
+  const auto blocks = tess::analysis::TessReader(periodic_file()).read_all();
+  for (const auto& p : random_points(100, 1.5, 6.5, 21u)) {
+    const auto loc = snap.locate(p);
+    const auto ref = brute_nearest(blocks, p);
+    ASSERT_TRUE(loc.found());
+    EXPECT_EQ(loc.site_id, ref.site_id);
+  }
+}
+
+TEST(ServeSnapshot, LocateReportsWalkAndSeedsEveryBlock) {
+  Snapshot snap(blocked_file());
+  // A point deep inside block 0's interior must be owned by block 0.
+  const auto loc = snap.locate({1.0, 1.0, 1.0});
+  ASSERT_TRUE(loc.found());
+  EXPECT_EQ(loc.block, 0);
+  // Octant centers route into their own block: deep in the interior the
+  // nearest site always lives in the block that contains the point.
+  for (int b = 0; b < 8; ++b) {
+    const Vec3 p{(b & 4) ? 6.0 : 2.0, (b & 2) ? 6.0 : 2.0,
+                 (b & 1) ? 6.0 : 2.0};
+    const auto l = snap.locate(p);
+    ASSERT_TRUE(l.found());
+    EXPECT_TRUE(snap.block_bounds(l.block).contains(p));
+  }
+}
+
+TEST(ServeSnapshot, ExtractRegionMatchesBruteForce) {
+  Snapshot snap(blocked_file());
+  const auto blocks = tess::analysis::TessReader(blocked_file()).read_all();
+  tess::diy::Bounds box{{1.5, 2.0, 0.5}, {6.5, 7.0, 5.5}};
+  const auto region = snap.extract_region(box);
+
+  std::vector<std::int64_t> expect_ids;
+  double expect_volume = 0.0;
+  for (const auto& b : blocks)
+    for (const auto& c : b.cells)
+      if (box.contains(c.site)) {
+        expect_ids.push_back(c.site_id);
+        expect_volume += c.volume;
+      }
+  std::vector<std::int64_t> got_ids;
+  double got_volume = 0.0;
+  for (const auto& c : region.cells) {
+    got_ids.push_back(c.site_id);
+    got_volume += c.volume;
+  }
+  std::sort(expect_ids.begin(), expect_ids.end());
+  std::sort(got_ids.begin(), got_ids.end());
+  EXPECT_EQ(got_ids, expect_ids);
+  EXPECT_NEAR(got_volume, expect_volume, 1e-9);
+  EXPECT_FALSE(region.cells.empty());
+  EXPECT_EQ(region.bounds.min.x, box.min.x);
+  EXPECT_EQ(region.bounds.max.z, box.max.z);
+}
+
+TEST(ServeSnapshot, HistogramParityWithAnalysis) {
+  Snapshot snap(blocked_file());
+  const auto blocks = tess::analysis::TessReader(blocked_file()).read_all();
+
+  const auto got = snap.volume_histogram(0.0, 3.0, 24);
+  const auto ref = tess::analysis::volume_histogram(blocks, 0.0, 3.0, 24);
+  ASSERT_EQ(got.bins(), ref.bins());
+  EXPECT_EQ(got.counts(), ref.counts());
+  EXPECT_EQ(got.underflow(), ref.underflow());
+  EXPECT_EQ(got.overflow(), ref.overflow());
+
+  const auto gd = snap.density_contrast_histogram(16);
+  const auto rd = tess::analysis::density_contrast_histogram(blocks, 16);
+  EXPECT_EQ(gd.counts(), rd.counts());
+  EXPECT_DOUBLE_EQ(gd.lo(), rd.lo());
+  EXPECT_DOUBLE_EQ(gd.hi(), rd.hi());
+}
+
+TEST(ServeSnapshot, VoidLookupConsistent) {
+  Snapshot snap(blocked_file());
+  // Median cell volume: roughly half the cells survive the threshold.
+  auto volumes = tess::analysis::cell_volumes(snap.blocks());
+  ASSERT_FALSE(volumes.empty());
+  std::nth_element(volumes.begin(), volumes.begin() + volumes.size() / 2,
+                   volumes.end());
+  const double thr = volumes[volumes.size() / 2];
+
+  const auto catalog = snap.voids(thr);
+  EXPECT_GT(catalog->components->num_components(), 0u);
+  EXPECT_EQ(snap.voids(thr).get(), catalog.get());  // cached per threshold
+
+  for (const auto& p : random_points(50, 0.5, 7.5, 5u)) {
+    const auto loc = snap.locate(p);
+    ASSERT_TRUE(loc.found());
+    const auto label = snap.void_of(p, thr);
+    const auto& cell = snap.block(loc.block).cells[loc.cell];
+    if (cell.volume >= thr) {
+      EXPECT_EQ(label, catalog->components->label_of(loc.site_id));
+      EXPECT_GE(label, 0);
+    } else {
+      EXPECT_EQ(label, -1);
+    }
+  }
+}
+
+TEST(ServeCache, HitMissEvictStats) {
+  CacheConfig cfg;
+  cfg.max_snapshots = 1;
+  SnapshotCache cache(cfg);
+
+  const auto a = cache.acquire(serial_file());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  cache.acquire(serial_file());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.resident(), 1u);
+
+  // Second path evicts the first (cap 1) but `a` stays valid: eviction
+  // only drops the cache's reference.
+  const auto b = cache.acquire(blocked_file());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.resident(), 1u);
+  EXPECT_TRUE(a->locate({3.0, 3.0, 3.0}).found());
+
+  // Re-acquiring the evicted path is a fresh open (new instance).
+  const auto a2 = cache.acquire(serial_file());
+  EXPECT_NE(a2.get(), a.get());
+  EXPECT_EQ(cache.stats().misses, 3u);
+
+  cache.evict("no/such/entry");  // no-op
+  cache.clear();
+  EXPECT_EQ(cache.resident(), 0u);
+  EXPECT_TRUE(b->locate({4.0, 4.0, 4.0}).found());
+}
+
+TEST(ServeCache, ByteCapEvicts) {
+  Snapshot probe(serial_file());
+  CacheConfig cfg;
+  cfg.max_snapshots = 8;
+  cfg.max_bytes = probe.file_bytes() + 1;  // room for one snapshot only
+  SnapshotCache cache(cfg);
+  cache.acquire(serial_file());
+  cache.acquire(blocked_file());
+  cache.acquire(serial_file());  // byte cap forces the first one out
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.resident(), 2u);
+}
+
+TEST(ServeCache, FailedOpenLeavesNoEntry) {
+  SnapshotCache cache;
+  EXPECT_THROW(cache.acquire("definitely/missing.bin"), std::runtime_error);
+  EXPECT_EQ(cache.resident(), 0u);
+  // A later acquire of a valid path still works.
+  EXPECT_NO_THROW(cache.acquire(serial_file()));
+}
+
+TEST(ServeService, BatchResultsIndependentOfThreadCount) {
+  const auto points = random_points(300, 0.0, 8.0, 42u);
+  ServiceConfig one;
+  one.threads = 1;
+  ServiceConfig many;
+  many.threads = 8;
+  many.batch_grain = 16;
+  QueryService s1(one), s8(many);
+  EXPECT_EQ(s8.threads(), 8);
+  const auto r1 = s1.point_locate(blocked_file(), points);
+  const auto r8 = s8.point_locate(blocked_file(), points);
+  expect_same_locations(r1, r8);
+}
+
+TEST(ServeService, VoidLookupBatch) {
+  QueryService svc;
+  const auto snap = svc.snapshot(blocked_file());
+  auto volumes = tess::analysis::cell_volumes(snap->blocks());
+  std::nth_element(volumes.begin(), volumes.begin() + volumes.size() / 2,
+                   volumes.end());
+  const double thr = volumes[volumes.size() / 2];
+
+  const auto points = random_points(60, 0.5, 7.5, 17u);
+  const auto labels = svc.void_lookup(blocked_file(), points, thr);
+  ASSERT_EQ(labels.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(labels[i], snap->void_of(points[i], thr)) << i;
+}
+
+TEST(ServeService, RegionAndHistogramsThroughCache) {
+  QueryService svc;
+  tess::diy::Bounds box{{2.0, 2.0, 2.0}, {6.0, 6.0, 6.0}};
+  const auto region = svc.extract_region(blocked_file(), box);
+  EXPECT_FALSE(region.cells.empty());
+  const auto vh = svc.volume_histogram(blocked_file(), 0.0, 3.0, 12);
+  EXPECT_GT(vh.total(), 0u);
+  const auto dh = svc.density_contrast_histogram(blocked_file(), 12);
+  EXPECT_EQ(dh.bins(), 12u);
+  // All three queries hit the same cached snapshot after the first open.
+  EXPECT_EQ(svc.cache().stats().misses, 1u);
+  EXPECT_EQ(svc.cache().stats().hits, 2u);
+}
+
+// The satellite concurrency test: many reader threads querying through the
+// service while another thread evicts and clears the cache, forcing
+// snapshot reload mid-flight. Every batch must be byte-identical to the
+// cold single-threaded reference. Runs under TSan in CI (Serve* regex).
+TEST(ServeCacheConcurrency, EvictionRacesReaders) {
+  const auto path_a = serial_file();
+  const auto path_b = blocked_file();
+  const auto pts_a = random_points(64, 0.0, 6.0, 11u);
+  const auto pts_b = random_points(64, 0.0, 8.0, 12u);
+
+  // Cold single-threaded reference, computed on throwaway snapshots.
+  std::vector<PointLocation> ref_a(pts_a.size()), ref_b(pts_b.size());
+  {
+    Snapshot sa(path_a), sb(path_b);
+    for (std::size_t i = 0; i < pts_a.size(); ++i) ref_a[i] = sa.locate(pts_a[i]);
+    for (std::size_t i = 0; i < pts_b.size(); ++i) ref_b[i] = sb.locate(pts_b[i]);
+  }
+
+  ServiceConfig cfg;
+  cfg.threads = 4;
+  cfg.batch_grain = 8;
+  cfg.cache.max_snapshots = 1;  // A and B evict each other constantly
+  QueryService svc(cfg);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&, t] {
+      for (int iter = 0; iter < 6; ++iter) {
+        const bool use_a = (t + iter) % 2 == 0;
+        const auto got = svc.point_locate(use_a ? path_a : path_b,
+                                          use_a ? pts_a : pts_b);
+        const auto& ref = use_a ? ref_a : ref_b;
+        for (std::size_t i = 0; i < ref.size(); ++i)
+          if (got[i].site_id != ref[i].site_id ||
+              got[i].site_dist2 != ref[i].site_dist2 ||
+              got[i].block != ref[i].block || got[i].cell != ref[i].cell)
+            failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread evictor([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      svc.cache().evict(path_a);
+      svc.cache().clear();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& r : readers) r.join();
+  stop.store(true, std::memory_order_relaxed);
+  evictor.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // The cache took real churn: reloads outnumber the two cold opens.
+  EXPECT_GT(svc.cache().stats().misses, 2u);
+}
+
+// Concurrent block loads within one snapshot: all threads hammer the same
+// lazily-loaded blocks; once_flag must hand every thread the same mesh.
+TEST(ServeCacheConcurrency, ConcurrentLazyLoads) {
+  // Periodic file: every one of the 8^3 cells is complete and kept, so the
+  // expected cell count is exact.
+  Snapshot snap(periodic_file());
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> total{0};
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&] {
+      std::size_t cells = 0;
+      for (int b = 0; b < snap.num_blocks(); ++b)
+        cells += snap.block(b).cells.size();
+      total.fetch_add(cells, std::memory_order_relaxed);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(snap.blocks_loaded(), snap.num_blocks());
+  const std::size_t per_pass = total.load() / 8;
+  EXPECT_EQ(total.load(), per_pass * 8);  // every thread saw the same counts
+  EXPECT_EQ(per_pass, 512u);              // 8^3 sites, all kept
+}
