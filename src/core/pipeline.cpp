@@ -5,6 +5,8 @@
 
 #include "diy/blockio.hpp"
 #include "obs/metrics.hpp"
+#include "obs/reduce.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
 
@@ -120,9 +122,29 @@ void InSituPipeline::write_loop() {
       if (options_.on_step) options_.on_step(write_comm_, res);
       timer.stop();
       res.write_seconds = timer.seconds();
+      const TessStats step_stats = res.stats;
+      const double write_seconds = res.write_seconds;
       results_.push_back(std::move(res));
       in_flight_.fetch_sub(1, std::memory_order_relaxed);
       TESS_COUNT("pipeline.steps", 1);
+      if (auto* stream = obs::stream()) {
+        // One per-rank record per step: this rank's stage times for the
+        // step, its counter/gauge slices as deltas. Then the collective
+        // rank-0 reduction record with histograms + quantiles — safe here
+        // because the write plane runs collectives in submission order on
+        // every rank, and streaming on/off is process-global.
+        obs::StreamSample sample;
+        sample.step = item->step;
+        sample.rank = comm_->rank();
+        sample.values = {
+            {"stage.exchange_s", step_stats.exchange_seconds},
+            {"stage.compute_s", step_stats.compute_seconds},
+            {"stage.write_s", write_seconds},
+            {"stage.step_s", step_stats.total_seconds() + write_seconds},
+        };
+        stream->emit(sample);
+        obs::stream_reduced_step(write_comm_, item->step);
+      }
     }
   } catch (...) {
     fail(std::current_exception());

@@ -10,6 +10,7 @@
 #include "geom/convex_hull.hpp"
 #include "geom/predicates.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 
 namespace tess::core {
@@ -111,7 +112,10 @@ BlockMesh Tessellator::tessellate_step(int step,
   // re-read `mine` after the exchange, so it must stay alive and stable
   // even though the caller (the pipeline's simulation thread) has moved on.
   retained_ = std::move(particles);
-  return tessellate(retained_);
+  current_step_ = step;
+  BlockMesh mesh = tessellate(retained_);
+  current_step_ = -1;
+  return mesh;
 }
 
 BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
@@ -372,6 +376,22 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
     stats_.iterations.push_back(iter);
     stats_.auto_iterations = iteration;
     stats_.ghost_used = ghost;
+
+    // Live-stream heartbeat per ghost pass, interval-gated: a long
+    // auto-ghost escalation is visible (growing ghost, shrinking pending
+    // set) instead of silent until the step record lands.
+    if (auto* stream = obs::stream();
+        stream != nullptr && stream->interval_elapsed()) {
+      obs::StreamSample sample;
+      sample.step = current_step_;
+      sample.rank = comm_->rank();
+      sample.values = {
+          {"tess.pass.iteration", static_cast<double>(iteration)},
+          {"tess.pass.ghost", ghost},
+          {"tess.pass.pending", static_cast<double>(pending.size())},
+      };
+      stream->emit(sample);
+    }
 
     // Incomplete cells only count against certification when the domain is
     // periodic (in open domains, hull cells are unbounded and are dropped

@@ -141,6 +141,9 @@ class Tessellator {
   std::unique_ptr<util::ThreadPool> pool_;
   /// Snapshot owned by the last tessellate_step() (empty otherwise).
   std::vector<diy::Particle> retained_;
+  /// Step tag for live-stream records emitted mid-tessellation (-1 when
+  /// not invoked through tessellate_step).
+  int current_step_ = -1;
 };
 
 }  // namespace tess::core

@@ -213,6 +213,60 @@ CompareResult compare_summaries(const std::vector<SummaryRow>& baseline,
     }
     result.deltas.push_back(std::move(d));
   }
+
+  // Histogram rows gate on p99 (carried in SummaryRow::max). Means hide
+  // tail regressions — a serve.query histogram can keep its mean while its
+  // p99 doubles — so the gate watches the quantile directly.
+  struct HistSide {
+    bool present = false;
+    double p99 = 0.0;
+    double lo = -1.0, hi = -1.0;
+  };
+  std::map<std::string, std::pair<HistSide, HistSide>> hists;
+  for (const auto& r : baseline)
+    if (r.kind == "histogram")
+      hists[r.name].first = {true, r.max, r.bins_lo, r.bins_hi};
+  for (const auto& r : current)
+    if (r.kind == "histogram")
+      hists[r.name].second = {true, r.max, r.bins_lo, r.bins_hi};
+
+  for (const auto& [name, sides] : hists) {
+    const auto& [b, c] = sides;
+    PhaseDelta d;
+    d.name = name + ".p99";
+    auto it = options.per_phase.find(d.name);
+    if (it == options.per_phase.end()) it = options.per_phase.find(name);
+    d.threshold =
+        it != options.per_phase.end() ? it->second : options.threshold;
+    d.baseline_s = b.p99;
+    d.current_s = c.p99;
+    d.ratio = d.baseline_s > 0.0 ? d.current_s / d.baseline_s : 0.0;
+    if (!b.present) {
+      d.verdict = PhaseDelta::Verdict::kAdded;
+    } else if (!c.present) {
+      d.verdict = PhaseDelta::Verdict::kRemoved;
+    } else if (d.baseline_s > 0.0 &&
+               d.current_s > d.baseline_s * (1.0 + d.threshold)) {
+      d.verdict = PhaseDelta::Verdict::kRegression;
+      result.regressed = true;
+    } else if (d.baseline_s > 0.0 &&
+               d.current_s < d.baseline_s * (1.0 - d.threshold)) {
+      d.verdict = PhaseDelta::Verdict::kImproved;
+    }
+    result.deltas.push_back(std::move(d));
+
+    if (b.present && c.present && b.lo >= 0.0 && c.lo >= 0.0 &&
+        (b.lo != c.lo || b.hi != c.hi)) {
+      result.notes.push_back("histogram " + name +
+                             ": occupied bucket range changed [" +
+                             fmt_g(b.lo) + ", " + fmt_g(b.hi) + "] -> [" +
+                             fmt_g(c.lo) + ", " + fmt_g(c.hi) + "]");
+    }
+  }
+  std::sort(result.deltas.begin(), result.deltas.end(),
+            [](const PhaseDelta& a, const PhaseDelta& b2) {
+              return a.name < b2.name;
+            });
   return result;
 }
 
@@ -244,6 +298,10 @@ std::string compare_markdown(const CompareResult& result,
        << fmt_g(d.current_s) << " | "
        << (d.baseline_s > 0.0 ? fmt(d.ratio, 2) : std::string("-")) << " | +"
        << fmt(100.0 * d.threshold, 0) << "% | " << verdict << " |\n";
+  }
+  if (!result.notes.empty()) {
+    os << "\n**notes** (informational, never gate):\n\n";
+    for (const auto& note : result.notes) os << "- " << note << "\n";
   }
   return os.str();
 }

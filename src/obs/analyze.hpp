@@ -123,6 +123,10 @@ struct PhaseDelta {
 struct CompareResult {
   std::vector<PhaseDelta> deltas;  ///< sorted by name
   bool regressed = false;
+  /// Informational findings that never fail the gate — currently histogram
+  /// bucket-layout changes (a p99 delta computed over different occupied
+  /// bucket ranges measures the layout shift, not a regression).
+  std::vector<std::string> notes;
   [[nodiscard]] std::size_t regressions() const {
     std::size_t n = 0;
     for (const auto& d : deltas)
@@ -133,9 +137,13 @@ struct CompareResult {
 
 /// Diff the timed rows of two summaries per phase — "span" rows (wall
 /// seconds) and "bench" rows (per-iteration seconds from
-/// parse_benchmark_json); counters/gauges/histograms are ignored. Phases
-/// present on only one side are reported as added/removed but never fail
-/// the gate (instrumentation legitimately moves).
+/// parse_benchmark_json) gate on `total`; "histogram" rows gate on p99
+/// (as "<name>.p99" deltas, with per-phase overrides matched on either
+/// the suffixed or the bare name; no noise floor — histogram units are
+/// not seconds); counters/gauges are ignored. Phases present on only one
+/// side are reported as added/removed but never fail the gate
+/// (instrumentation legitimately moves). Histograms whose occupied bucket
+/// range changed are flagged in `notes`.
 [[nodiscard]] CompareResult compare_summaries(
     const std::vector<SummaryRow>& baseline,
     const std::vector<SummaryRow>& current, const CompareOptions& options);

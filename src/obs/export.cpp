@@ -7,9 +7,13 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/json.hpp"
+
 namespace tess::obs {
 
 namespace {
+
+using detail::JsonReader;
 
 std::string json_escape(std::string_view s) {
   std::string out;
@@ -161,7 +165,11 @@ std::string summary_json(const TraceDump& dump,
   });
   emit_kind('h', "histograms", [&os](const MetricSample& s) {
     os << "{\"count\": " << fmt_double(s.value)
-       << ", \"sum\": " << fmt_double(s.sum) << ", \"bins\": {";
+       << ", \"sum\": " << fmt_double(s.sum)
+       << ", \"p50\": " << fmt_double(histogram_quantile(s.bins, 0.50))
+       << ", \"p90\": " << fmt_double(histogram_quantile(s.bins, 0.90))
+       << ", \"p99\": " << fmt_double(histogram_quantile(s.bins, 0.99))
+       << ", \"bins\": {";
     bool first = true;
     for (const auto& [floor, n] : s.bins) {
       os << (first ? "" : ",") << "\"" << floor << "\":" << n;
@@ -194,7 +202,9 @@ std::string summary_tsv(const TraceDump& dump,
         break;
       case 'h':
         os << "histogram\t" << s.name << "\t" << fmt_double(s.value) << "\t"
-           << fmt_double(s.sum) << "\t0\t0\n";
+           << fmt_double(s.sum) << "\t"
+           << fmt_double(histogram_quantile(s.bins, 0.50)) << "\t"
+           << fmt_double(histogram_quantile(s.bins, 0.99)) << "\n";
         break;
       default: break;
     }
@@ -230,153 +240,6 @@ std::vector<SummaryRow> parse_summary_tsv(const std::string& text) {
   return rows;
 }
 
-namespace {
-
-/// Minimal recursive-descent JSON reader — just enough for the summary
-/// schema (objects, strings, numbers, and skippable nested values).
-class JsonReader {
- public:
-  explicit JsonReader(const std::string& text)
-      : p_(text.data()), end_(text.data() + text.size()) {}
-
-  /// Parse `[ <value>, ... ]`, calling on_elem() positioned at each
-  /// element; the callback must consume exactly that value.
-  template <class F>
-  void array(F&& on_elem) {
-    expect('[');
-    ws();
-    if (eat(']')) return;
-    while (true) {
-      on_elem();
-      ws();
-      if (eat(',')) {
-        ws();
-        continue;
-      }
-      expect(']');
-      return;
-    }
-  }
-
-  /// Parse `{ "key": <value>, ... }`, calling on_key(key) positioned at
-  /// each value; the callback must consume exactly that value.
-  template <class F>
-  void object(F&& on_key) {
-    expect('{');
-    ws();
-    if (eat('}')) return;
-    while (true) {
-      const std::string key = string();
-      expect(':');
-      on_key(key);
-      ws();
-      if (eat(',')) {
-        ws();
-        continue;
-      }
-      expect('}');
-      return;
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (p_ < end_ && *p_ != '"') {
-      char c = *p_++;
-      if (c == '\\' && p_ < end_) {
-        c = *p_++;
-        switch (c) {
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          case 'b': c = '\b'; break;
-          case 'f': c = '\f'; break;
-          case 'u': {
-            // Summary names are ASCII; decode the low byte, else '?'.
-            if (end_ - p_ < 4) fail("truncated \\u escape");
-            const unsigned v = static_cast<unsigned>(
-                std::strtoul(std::string(p_, p_ + 4).c_str(), nullptr, 16));
-            p_ += 4;
-            c = v < 0x80 ? static_cast<char>(v) : '?';
-            break;
-          }
-          default: break;  // \" \\ \/ decode to themselves
-        }
-      }
-      out += c;
-    }
-    expect('"');
-    return out;
-  }
-
-  double number() {
-    ws();
-    char* after = nullptr;
-    const double v = std::strtod(p_, &after);
-    if (after == p_) fail("expected number");
-    p_ = after;
-    return v;
-  }
-
-  void skip_value() {
-    ws();
-    if (p_ >= end_) fail("unexpected end of input");
-    switch (*p_) {
-      case '{':
-        object([this](const std::string&) { skip_value(); });
-        break;
-      case '[': {
-        ++p_;
-        ws();
-        if (eat(']')) return;
-        while (true) {
-          skip_value();
-          ws();
-          if (eat(',')) continue;
-          expect(']');
-          return;
-        }
-      }
-      case '"': (void)string(); break;
-      case 't': literal("true"); break;
-      case 'f': literal("false"); break;
-      case 'n': literal("null"); break;
-      default: (void)number();
-    }
-  }
-
- private:
-  void ws() {
-    while (p_ < end_ && (*p_ == ' ' || *p_ == '\n' || *p_ == '\t' ||
-                         *p_ == '\r'))
-      ++p_;
-  }
-  bool eat(char c) {
-    ws();
-    if (p_ < end_ && *p_ == c) {
-      ++p_;
-      return true;
-    }
-    return false;
-  }
-  void expect(char c) {
-    if (!eat(c)) fail("unexpected token");
-  }
-  void literal(const char* word) {
-    for (const char* w = word; *w != '\0'; ++w)
-      if (p_ >= end_ || *p_++ != *w) fail("bad literal");
-  }
-  [[noreturn]] void fail(const char* what) {
-    throw std::runtime_error(std::string("parse_summary_json: ") + what);
-  }
-
-  const char* p_;
-  const char* end_;
-};
-
-}  // namespace
-
 std::vector<SummaryRow> parse_summary_json(const std::string& text) {
   std::vector<SummaryRow> rows;
   JsonReader in(text);
@@ -389,7 +252,8 @@ std::vector<SummaryRow> parse_summary_json(const std::string& text) {
     const std::string kind = section.substr(0, section.size() - 1);
     in.object([&](const std::string& name) {
       double count = 0, total_s = 0, min_s = 0, max_s = 0;
-      double total = 0, value = 0, sum = 0;
+      double total = 0, value = 0, sum = 0, p50 = 0, p99 = 0;
+      double bins_lo = -1.0, bins_hi = -1.0;
       in.object([&](const std::string& field) {
         if (field == "count") count = in.number();
         else if (field == "total_s") total_s = in.number();
@@ -398,6 +262,15 @@ std::vector<SummaryRow> parse_summary_json(const std::string& text) {
         else if (field == "total") total = in.number();
         else if (field == "value") value = in.number();
         else if (field == "sum") sum = in.number();
+        else if (field == "p50") p50 = in.number();
+        else if (field == "p99") p99 = in.number();
+        else if (field == "bins")
+          in.object([&](const std::string& floor_key) {
+            const double floor_v = std::strtod(floor_key.c_str(), nullptr);
+            if (bins_lo < 0.0 || floor_v < bins_lo) bins_lo = floor_v;
+            if (floor_v > bins_hi) bins_hi = floor_v;
+            in.skip_value();
+          });
         else in.skip_value();
       });
       SummaryRow row;
@@ -414,9 +287,13 @@ std::vector<SummaryRow> parse_summary_json(const std::string& text) {
       } else if (kind == "gauge") {
         row.count = 1;
         row.total = value;
-      } else {  // histogram
+      } else {  // histogram: quantiles ride the min/max columns
         row.count = count;
         row.total = sum;
+        row.min = p50;
+        row.max = p99;
+        row.bins_lo = bins_lo;
+        row.bins_hi = bins_hi;
       }
       rows.push_back(std::move(row));
     });

@@ -36,14 +36,17 @@ struct SpanAgg {
 
 /// Flat summary JSON: {"spans": {...}, "counters": {...}, "gauges": {...},
 /// "histograms": {...}, "lanes": N, "dropped_spans": N}. Per-phase span
-/// totals are wall-clock seconds summed over all lanes.
+/// totals are wall-clock seconds summed over all lanes; histogram entries
+/// carry count/sum/p50/p90/p99 plus the raw bucket counts, so quantiles
+/// survive the round-trip through parse_summary_json.
 [[nodiscard]] std::string summary_json(const TraceDump& dump,
                                        const MetricsSnapshot& metrics);
 
 /// Same content as one row-per-line TSV:
 ///   kind<TAB>name<TAB>count<TAB>total<TAB>min<TAB>max
-/// with kind in {span, counter, gauge, histogram}. Round-trips through
-/// parse_summary_tsv.
+/// with kind in {span, counter, gauge, histogram}. Histogram rows reuse
+/// the min/max columns for p50/p99 (a histogram has no span-style min/max
+/// to report). Round-trips through parse_summary_tsv.
 [[nodiscard]] std::string summary_tsv(const TraceDump& dump,
                                       const MetricsSnapshot& metrics);
 
@@ -52,8 +55,13 @@ struct SummaryRow {
   std::string name;
   double count = 0.0;
   double total = 0.0;
-  double min = 0.0;
-  double max = 0.0;
+  double min = 0.0;  ///< histogram rows: p50
+  double max = 0.0;  ///< histogram rows: p99
+  /// Histogram rows parsed from JSON: lowest/highest occupied bucket floor
+  /// (-1 = unknown, e.g. TSV input). compare_summaries uses these to flag
+  /// bucket-layout changes between two summaries.
+  double bins_lo = -1.0;
+  double bins_hi = -1.0;
 };
 
 /// Parse summary_tsv output (header line skipped). Throws on malformed rows.
@@ -75,9 +83,10 @@ struct SummaryRow {
 
 /// Parse summary_json output into the same rows parse_summary_tsv yields
 /// (spans keep count/total/min/max; counters and gauges surface their value
-/// as `total`; histograms surface sample count as `count` and sample sum as
-/// `total`). Minimal parser for the summary schema — unknown keys are
-/// skipped, malformed JSON throws.
+/// as `total`; histograms surface sample count as `count`, sample sum as
+/// `total`, p50/p99 as `min`/`max`, and the occupied bucket-floor range as
+/// `bins_lo`/`bins_hi`). Minimal parser for the summary schema — unknown
+/// keys are skipped, malformed JSON throws.
 [[nodiscard]] std::vector<SummaryRow> parse_summary_json(
     const std::string& text);
 

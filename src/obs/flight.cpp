@@ -17,6 +17,7 @@
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 
 namespace tess::obs {
 
@@ -310,6 +311,11 @@ void FlightRecorder::write_dump(const char* reason, bool signal_context) {
   // One dump per arm: the first trigger (watchdog, signal, or explicit
   // call) wins; an abort following a stall dump must not overwrite it.
   if (s.fired.exchange(true, std::memory_order_acq_rel)) return;
+
+  // Flush a dying-gasp record onto the live telemetry stream (if armed) so
+  // the timeseries ends with the crash/stall instead of just going silent.
+  // emit_final is signal-safe (integers + sanitized reason, one write).
+  if (auto* sw = stream()) sw->emit_final(reason);
 
   // The precomputed path and config are read without the lock: a signal
   // may arrive while the arming thread holds it. arm() publishes them

@@ -18,6 +18,30 @@ double MetricsSnapshot::value(std::string_view name) const {
   return s != nullptr ? s->value : 0.0;
 }
 
+double histogram_quantile(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& bins,
+    double q) {
+  std::uint64_t total = 0;
+  for (const auto& [floor_v, n] : bins) total += n;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (const auto& [floor_v, n] : bins) {
+    if (n == 0) continue;
+    const double count = static_cast<double>(n);
+    if (cum + count >= target) {
+      if (floor_v == 0) return 0.0;  // the zero bucket holds exact zeros
+      const double lo = static_cast<double>(floor_v);
+      const double frac = count > 0.0 ? (target - cum) / count : 0.0;
+      return lo + lo * frac;  // bucket spans [floor, 2*floor)
+    }
+    cum += count;
+  }
+  const auto& last = bins.back();
+  return last.first == 0 ? 0.0 : static_cast<double>(last.first) * 2.0;
+}
+
 namespace {
 
 constexpr int kTagSlots = Registry::kMaxTag - Registry::kMinTag + 1;

@@ -114,10 +114,21 @@ class Gauge {
   std::array<Slot, kRankSlots> slots_;
 };
 
+/// Quantile by bucket interpolation over exported (bin_floor, count)
+/// pairs, ascending by floor: find the bucket holding the q-th sample and
+/// interpolate linearly inside its [floor, 2*floor) range (the zero bucket
+/// returns 0 exactly — its samples are all zero). The error is bounded by
+/// the power-of-two bucket width; good enough to gate p99 latencies where
+/// a mean hides tail regressions. Returns 0 on an empty histogram.
+[[nodiscard]] double histogram_quantile(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& bins,
+    double q);
+
 /// Lock-free exponential histogram over unsigned samples: bin k holds the
 /// samples whose bit width is k (bin 0 = zero), i.e. power-of-two buckets.
 /// Coarse by design — it answers "what order of magnitude are the ghost
-/// messages" without any hot-path allocation or mutex.
+/// messages" without any hot-path allocation or mutex. Quantiles come from
+/// bucket interpolation (quantile(), histogram_quantile()).
 class ExpHistogram {
  public:
   static constexpr int kBins = 65;
@@ -147,6 +158,14 @@ class ExpHistogram {
   }
   [[nodiscard]] std::uint64_t bin_count(int k) const {
     return bins_[static_cast<std::size_t>(k)].load(std::memory_order_relaxed);
+  }
+  /// Interpolated quantile (q in [0,1]) over the current bin contents.
+  [[nodiscard]] double quantile(double q) const {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> bins;
+    for (int k = 0; k < kBins; ++k)
+      if (const auto n = bin_count(k); n != 0)
+        bins.emplace_back(bin_floor(k), n);
+    return histogram_quantile(bins, q);
   }
   void reset() {
     for (auto& b : bins_) b.store(0, std::memory_order_relaxed);

@@ -1,12 +1,14 @@
 // Umbrella header for the observability layer: scoped-span tracing
 // (TESS_SPAN), the metrics registry (TESS_COUNT / TESS_GAUGE_SET /
 // TESS_HIST_ADD), the exporters, the load-imbalance analyzer, and the
-// hang/crash flight recorder (TESS_HEARTBEAT). The comm-aware rank-0
-// reduction lives separately in obs/reduce.hpp (it pulls in comm/comm.hpp).
+// hang/crash flight recorder (TESS_HEARTBEAT), and the live telemetry
+// streamer (TESS_OBS_STREAM). The comm-aware rank-0 reduction lives
+// separately in obs/reduce.hpp (it pulls in comm/comm.hpp).
 #pragma once
 
 #include "obs/analyze.hpp"
 #include "obs/export.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"

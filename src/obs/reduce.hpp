@@ -15,6 +15,7 @@
 #include "comm/comm.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 
 namespace tess::obs {
@@ -89,6 +90,26 @@ inline MetricsSnapshot reduce_metrics(comm::Comm& comm) {
               return a.name < b.name;
             });
   return out;
+}
+
+/// Per-step global record for the live stream: reduce the metrics to rank
+/// 0 and emit one rank=-1 "snap" record with the reduced counters/gauges
+/// plus the process-global histograms and their p50/p90/p99. Span
+/// aggregates ride along only when the streamer's interval elapsed (a full
+/// tracer walk per step would not be "low-overhead"). Collective on
+/// `comm`; a no-op on every rank when streaming is off — obs::stream() is
+/// process-global, so the on/off verdict is consistent across ranks.
+inline void stream_reduced_step(comm::Comm& comm, int step) {
+  StreamWriter* writer = stream();
+  if (writer == nullptr) return;
+  const MetricsSnapshot reduced = reduce_metrics(comm);
+  if (comm.rank() != 0) return;
+  StreamSample sample;
+  sample.step = step;
+  sample.rank = -1;
+  sample.with_hists = true;
+  sample.with_spans = writer->interval_elapsed();
+  writer->emit(sample, reduced);
 }
 
 /// Rank 0 drains every span lane once all ranks have reached the barrier

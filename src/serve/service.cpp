@@ -1,34 +1,51 @@
 #include "serve/service.hpp"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 
 namespace tess::serve {
 
 namespace {
 
-/// Stamps the per-kind latency histogram (microseconds) on scope exit.
-/// Looks the histogram up per call (names vary per query kind, so the
-/// TESS_HIST_ADD static-cache macro would bind to the wrong metric).
+/// Stamps the per-kind latency histogram (microseconds) on scope exit and
+/// bumps the kind's SLO-breach counter when the call ran past the
+/// threshold. Looks the metrics up per call (names vary per query kind, so
+/// the TESS_HIST_ADD static-cache macro would bind to the wrong metric).
 class LatencyScope {
  public:
-  explicit LatencyScope(const char* hist_name)
-      : name_(hist_name), t0_(std::chrono::steady_clock::now()) {}
+  LatencyScope(const char* base_name, std::uint64_t slo_us)
+      : base_(base_name), slo_us_(slo_us),
+        t0_(std::chrono::steady_clock::now()) {}
   ~LatencyScope() {
 #if TESS_OBS_ENABLED
-    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-                        std::chrono::steady_clock::now() - t0_)
-                        .count();
-    obs::metrics().histogram(name_).add(static_cast<std::uint64_t>(us));
+    const auto us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+    const std::string base(base_);
+    obs::metrics().histogram(base + ".us").add(us);
+    if (slo_us_ > 0 && us > slo_us_)
+      obs::metrics().counter(base + ".slo_breach").add(1);
 #endif
   }
 
  private:
-  [[maybe_unused]] const char* name_;
+  [[maybe_unused]] const char* base_;
+  [[maybe_unused]] std::uint64_t slo_us_;
   [[maybe_unused]] std::chrono::steady_clock::time_point t0_;
 };
+
+std::uint64_t resolve_slo_us(std::uint64_t configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("TESS_SERVE_SLO_US"))
+    if (const long v = std::atol(env); v > 0)
+      return static_cast<std::uint64_t>(v);
+  return 100000;  // 100 ms: generous for point batches, catches cold loads
+}
 
 }  // namespace
 
@@ -37,6 +54,17 @@ QueryService::QueryService(const ServiceConfig& config)
       cache_(config.cache),
       pool_(util::ThreadPool::resolve(config.threads)) {
   if (config_.batch_grain == 0) config_.batch_grain = 1;
+  config_.slo_us = resolve_slo_us(config_.slo_us);
+}
+
+void QueryService::maybe_stream() {
+  auto* sw = obs::stream();
+  if (sw == nullptr || !sw->interval_elapsed()) return;
+  obs::StreamSample sample;
+  sample.rank = -1;  // the service is not rank-scoped: global totals
+  sample.with_hists = true;
+  sample.with_spans = true;
+  sw->emit(sample);
 }
 
 std::shared_ptr<const Snapshot> QueryService::snapshot(
@@ -47,7 +75,7 @@ std::shared_ptr<const Snapshot> QueryService::snapshot(
 std::vector<PointLocation> QueryService::point_locate(
     const std::string& path, const std::vector<Vec3>& points) {
   TESS_SPAN("serve.query.point");
-  LatencyScope latency("serve.query.point.us");
+  LatencyScope latency("serve.query.point", config_.slo_us);
   TESS_COUNT("serve.query.point.count", points.size());
   const auto snap = cache_.acquire(path);
   std::vector<PointLocation> out(points.size());
@@ -57,6 +85,7 @@ std::vector<PointLocation> QueryService::point_locate(
                        for (std::size_t i = begin; i < end; ++i)
                          out[i] = snap->locate(points[i]);
                      });
+  maybe_stream();
   return out;
 }
 
@@ -64,7 +93,7 @@ std::vector<std::int64_t> QueryService::void_lookup(
     const std::string& path, const std::vector<Vec3>& points,
     double min_volume) {
   TESS_SPAN("serve.query.void");
-  LatencyScope latency("serve.query.void.us");
+  LatencyScope latency("serve.query.void", config_.slo_us);
   TESS_COUNT("serve.query.void.count", points.size());
   const auto snap = cache_.acquire(path);
   // Materialize the catalog once, before fanning out; the per-point path
@@ -81,32 +110,39 @@ std::vector<std::int64_t> QueryService::void_lookup(
               loc.found() ? catalog->components->label_of(loc.site_id) : -1;
         }
       });
+  maybe_stream();
   return out;
 }
 
 core::BlockMesh QueryService::extract_region(const std::string& path,
                                              const diy::Bounds& box) {
   TESS_SPAN("serve.query.region");
-  LatencyScope latency("serve.query.region.us");
+  LatencyScope latency("serve.query.region", config_.slo_us);
   TESS_COUNT("serve.query.region.count", 1);
-  return cache_.acquire(path)->extract_region(box);
+  auto mesh = cache_.acquire(path)->extract_region(box);
+  maybe_stream();
+  return mesh;
 }
 
 util::Histogram QueryService::volume_histogram(const std::string& path,
                                                double lo, double hi,
                                                std::size_t bins) {
   TESS_SPAN("serve.query.hist");
-  LatencyScope latency("serve.query.hist.us");
+  LatencyScope latency("serve.query.hist", config_.slo_us);
   TESS_COUNT("serve.query.hist.count", 1);
-  return cache_.acquire(path)->volume_histogram(lo, hi, bins);
+  auto hist = cache_.acquire(path)->volume_histogram(lo, hi, bins);
+  maybe_stream();
+  return hist;
 }
 
 util::Histogram QueryService::density_contrast_histogram(
     const std::string& path, std::size_t bins) {
   TESS_SPAN("serve.query.hist");
-  LatencyScope latency("serve.query.hist.us");
+  LatencyScope latency("serve.query.hist", config_.slo_us);
   TESS_COUNT("serve.query.hist.count", 1);
-  return cache_.acquire(path)->density_contrast_histogram(bins);
+  auto hist = cache_.acquire(path)->density_contrast_histogram(bins);
+  maybe_stream();
+  return hist;
 }
 
 }  // namespace tess::serve

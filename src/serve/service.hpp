@@ -9,11 +9,16 @@
 // entries are written into preallocated slots, never merged.
 //
 // Every query kind is observable through src/obs:
-//   serve.query.<kind>        span around each call (batch granularity)
-//   serve.query.<kind>.count  queries served (batch entries, not batches)
-//   serve.query.<kind>.us     per-call latency histogram, microseconds
+//   serve.query.<kind>            span around each call (batch granularity)
+//   serve.query.<kind>.count      queries served (batch entries, not batches)
+//   serve.query.<kind>.us         per-call latency histogram, microseconds
+//   serve.query.<kind>.slo_breach calls slower than the SLO threshold
+//                                 (ServiceConfig::slo_us / TESS_SERVE_SLO_US)
 // plus the serve.cache.* hit/miss/evict counters from the cache and the
-// serve.locate.* walk/fallback counters from the snapshot.
+// serve.locate.* walk/fallback counters from the snapshot. When the live
+// telemetry streamer is on (obs/stream.hpp), the service also appends one
+// global stream record per TESS_OBS_STREAM_MS interval, carrying the
+// latency histograms with p50/p90/p99 — the feed tess_top watches.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +41,10 @@ struct ServiceConfig {
   /// Batch entries per pool chunk; chunking depends only on the batch
   /// size, so results are identical for any thread count.
   std::size_t batch_grain = 256;
+  /// Per-call latency SLO in microseconds: calls slower than this bump
+  /// serve.query.<kind>.slo_breach. 0 = resolve from TESS_SERVE_SLO_US
+  /// (default 100000, i.e. 100 ms).
+  std::uint64_t slo_us = 0;
 };
 
 class QueryService {
@@ -44,6 +53,8 @@ class QueryService {
 
   [[nodiscard]] int threads() const { return pool_.size(); }
   [[nodiscard]] SnapshotCache& cache() { return cache_; }
+  /// Resolved latency SLO (after the TESS_SERVE_SLO_US fallback).
+  [[nodiscard]] std::uint64_t slo_us() const { return config_.slo_us; }
 
   /// Pin a snapshot (through the cache) for repeated direct queries.
   std::shared_ptr<const Snapshot> snapshot(const std::string& path);
@@ -68,6 +79,10 @@ class QueryService {
                                              std::size_t bins);
 
  private:
+  /// Interval-gated live-stream emission (no-op when streaming is off),
+  /// called at the end of every query.
+  void maybe_stream();
+
   ServiceConfig config_;
   SnapshotCache cache_;
   util::ThreadPool pool_;

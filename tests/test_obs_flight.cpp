@@ -271,3 +271,39 @@ TEST(ObsFlightDeathTest, SigabrtWritesCrashDumpThenDies) {
   EXPECT_NE(dump.find("metrics: omitted (signal context)"),
             std::string::npos);
 }
+
+TEST(ObsFlightDeathTest, CrashFlushesFinalStreamRecord) {
+  const std::string prefix = testing::TempDir() + "tess_flight_stream";
+  const std::string stream_path = prefix + ".stream.jsonl";
+  std::remove(stream_path.c_str());
+
+  // With the live streamer armed, the crash handler's dump must also leave
+  // a {"k":"final"} dying-gasp record at the stream tail — and every record
+  // written before the kill must still parse (the crash-consistency
+  // contract).
+  EXPECT_DEATH(
+      {
+        obs::StreamConfig scfg;
+        scfg.path = stream_path;
+        obs::configure_stream(scfg);
+        obs::StreamSample s;
+        s.step = 1;
+        s.rank = 0;
+        s.with_metrics = false;
+        s.values["stage.step_s"] = 0.25;
+        obs::stream()->emit(s);
+        obs::FlightConfig cfg;
+        cfg.path_prefix = prefix;
+        cfg.watchdog = false;
+        obs::FlightRecorder::instance().arm(cfg);
+        std::raise(SIGABRT);
+      },
+      "flight recorder: dump written");
+
+  const auto file = obs::read_stream_file(stream_path);
+  ASSERT_GE(file.records.size(), 3u);  // meta, snap, final
+  EXPECT_EQ(file.records[1].kind, "snap");
+  EXPECT_DOUBLE_EQ(file.records[1].values.at("stage.step_s"), 0.25);
+  EXPECT_EQ(file.records.back().kind, "final");
+  EXPECT_NE(read_file(stream_path).find("SIGABRT"), std::string::npos);
+}
