@@ -14,7 +14,14 @@
 // slowest rank per phase (obs/analyze.hpp). TESS_BENCH_SMALL=1 shrinks the
 // problem to the CI smoke configuration whose summary is diffed against the
 // committed BENCH_fig10.json baseline by tools/obs_compare.
+//
+// --clustered runs only the adaptive-rebalance smoke (DESIGN.md §4.14):
+// uniform grid vs mass-weighted k-d on a clustered snapshot, hard-gated on
+// >=30% excess-imbalance reduction and merged-mesh byte identity, with its
+// own BENCH_fig10_clustered.json obs_compare baseline.
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,8 +29,11 @@
 #include <vector>
 
 #include "common.hpp"
+#include "core/standalone.hpp"
 #include "diy/blockio.hpp"
+#include "diy/exchange.hpp"
 #include "obs/obs.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 using namespace tess;
@@ -102,18 +112,184 @@ void insitu_loop_section(bool small, bool run_serial, bool run_pipelined) {
       sim.np, ranks, steps, table.render().c_str());
 }
 
+// ---------------------------------------------------------------------------
+// --clustered: the adaptive-decomposition rebalance smoke (DESIGN.md §4.14).
+// ---------------------------------------------------------------------------
+
+/// Heavily clustered cloud: half the particles in one tight Gaussian blob,
+/// a quarter in a second looser one, the rest uniform background — the
+/// distribution a uniform grid decomposition is worst at.
+std::vector<diy::Particle> clustered_cloud(int n, double domain) {
+  util::Rng rng(777);
+  const geom::Vec3 c1{0.30 * domain, 0.62 * domain, 0.40 * domain};
+  const geom::Vec3 c2{0.72 * domain, 0.22 * domain, 0.66 * domain};
+  std::vector<diy::Particle> ps;
+  ps.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    geom::Vec3 p;
+    if (i % 2 == 0) {
+      p = {c1.x + rng.normal(0.0, 0.05 * domain),
+           c1.y + rng.normal(0.0, 0.05 * domain),
+           c1.z + rng.normal(0.0, 0.05 * domain)};
+    } else if (i % 4 == 1) {
+      p = {c2.x + rng.normal(0.0, 0.08 * domain),
+           c2.y + rng.normal(0.0, 0.08 * domain),
+           c2.z + rng.normal(0.0, 0.08 * domain)};
+    } else {
+      p = {rng.uniform(0.0, domain), rng.uniform(0.0, domain),
+           rng.uniform(0.0, domain)};
+    }
+    p.x = std::clamp(p.x, 0.0, domain * (1.0 - 1e-12));
+    p.y = std::clamp(p.y, 0.0, domain * (1.0 - 1e-12));
+    p.z = std::clamp(p.z, 0.0, domain * (1.0 - 1e-12));
+    ps.push_back({p, i});
+  }
+  return ps;
+}
+
+struct ClusteredLeg {
+  double particle_imbalance = 0.0;  ///< max/mean per-rank particle count
+  double seconds_imbalance = 0.0;   ///< max/mean per-rank build seconds
+  double tess_critical = 0.0;       ///< max per-rank compute seconds
+  std::size_t max_particles = 0;
+  std::vector<std::byte> merged;    ///< canonical merged mesh (rank 0)
+};
+
+ClusteredLeg run_clustered_leg(int nranks,
+                               const std::vector<diy::Particle>& cloud,
+                               double domain, bool kd, double ghost) {
+  ClusteredLeg leg;
+  comm::Runtime::run(nranks, [&](comm::Comm& c) {
+    const geom::Vec3 lo{0, 0, 0};
+    const geom::Vec3 hi{domain, domain, domain};
+    std::vector<geom::Vec3> sites;
+    if (kd) {
+      sites.reserve(cloud.size());
+      for (const auto& p : cloud) sites.push_back(p.pos);
+    }
+    const diy::Decomposition d =
+        kd ? diy::Decomposition::kd(lo, hi, false, nranks, sites)
+           : diy::Decomposition(lo, hi, diy::Decomposition::factor(nranks),
+                                false);
+    core::TessOptions opt;
+    opt.ghost = ghost;
+    opt.auto_ghost = true;
+    opt.incremental = true;
+    opt.threads = 1;
+    core::Tessellator t(c, d, opt);
+    const auto mine = diy::migrate_items(
+        c, d, c.rank() == 0 ? cloud : std::vector<diy::Particle>{},
+        [](diy::Particle& p) -> geom::Vec3& { return p.pos; });
+    const auto mesh = t.tessellate(mine);
+    const auto counts =
+        c.allgather(static_cast<double>(mine.size()));
+    const auto seconds = c.allgather(t.stats().compute_seconds);
+    auto merged = core::merged_mesh_bytes(c, mesh);
+    if (c.rank() == 0) {
+      leg.particle_imbalance = obs::imbalance_factor(counts);
+      leg.seconds_imbalance = obs::imbalance_factor(seconds);
+      leg.tess_critical = *std::max_element(seconds.begin(), seconds.end());
+      leg.max_particles = static_cast<std::size_t>(
+          *std::max_element(counts.begin(), counts.end()));
+      leg.merged = std::move(merged);
+    }
+  });
+  return leg;
+}
+
+/// Uniform grid vs mass-weighted k-d on the same clustered snapshot:
+/// reports both imbalance factors, asserts the k-d merged mesh is
+/// byte-identical to the grid's (the §4.14 invariance guarantee), and
+/// asserts the particle-count imbalance dropped at least 30% toward 1.0 —
+/// the CI gate for the rebalancing loop. The post-balance factor is also
+/// recorded as histogram tess.clustered.imbalance.milli (particle counts
+/// are deterministic, so the p99 obs_compare gates is stable).
+int clustered_section(bool small) {
+  const int nranks = 4;
+  const int np = small ? 20 : 64;
+  const int n = np * np * np;
+  const double domain = 6.0;
+  const double ghost = 2.0 * domain / np;
+  const auto cloud = clustered_cloud(n, domain);
+
+  std::printf("== Clustered rebalance smoke (np=%d^3, %d ranks) ==\n\n", np,
+              nranks);
+  const auto grid = run_clustered_leg(nranks, cloud, domain, false, ghost);
+  const auto tree = run_clustered_leg(nranks, cloud, domain, true, ghost);
+
+  util::Table table({"Decomposition", "Max particles/rank",
+                     "Imbalance(particles)", "Imbalance(build s)",
+                     "Tess(s,critical)"});
+  table.add_row({"uniform grid", util::Table::cell(grid.max_particles),
+                 util::Table::cell(grid.particle_imbalance, 3),
+                 util::Table::cell(grid.seconds_imbalance, 3),
+                 util::Table::cell(grid.tess_critical, 3)});
+  table.add_row({"mass-weighted k-d", util::Table::cell(tree.max_particles),
+                 util::Table::cell(tree.particle_imbalance, 3),
+                 util::Table::cell(tree.seconds_imbalance, 3),
+                 util::Table::cell(tree.tess_critical, 3)});
+  std::printf("%s\n", table.render().c_str());
+
+  // Excess imbalance (factor - 1) removed by the k-d split.
+  const double excess = grid.particle_imbalance - 1.0;
+  const double removed = grid.particle_imbalance - tree.particle_imbalance;
+  const double reduction = excess > 0.0 ? removed / excess : 1.0;
+  std::printf("imbalance reduction toward 1.0: %.0f%% (gate: >= 30%%)\n",
+              100.0 * reduction);
+
+  TESS_HIST_ADD("tess.clustered.imbalance.milli",
+                tree.particle_imbalance * 1000.0);
+  TESS_HIST_ADD("tess.clustered.imbalance.grid.milli",
+                grid.particle_imbalance * 1000.0);
+
+  int failures = 0;
+  if (tree.merged != grid.merged) {
+    std::fprintf(stderr,
+                 "FAIL: merged mesh bytes differ between grid and k-d "
+                 "decompositions (%zu vs %zu bytes)\n",
+                 grid.merged.size(), tree.merged.size());
+    ++failures;
+  } else {
+    std::printf("merged mesh: byte-identical across decompositions "
+                "(%zu bytes)\n", grid.merged.size());
+  }
+  if (reduction < 0.30) {
+    std::fprintf(stderr,
+                 "FAIL: k-d split removed only %.0f%% of the excess "
+                 "imbalance (%.3f -> %.3f), need >= 30%%\n",
+                 100.0 * reduction, grid.particle_imbalance,
+                 tree.particle_imbalance);
+    ++failures;
+  }
+  std::printf("\n");
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // --insitu {serial|pipelined|both|off}: restrict the in-situ loop modes.
+  // --clustered: run only the adaptive-rebalance smoke (grid vs k-d on a
+  // clustered cloud) and exit nonzero if the gate fails.
   std::string insitu_mode = "both";
+  bool clustered = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--insitu") == 0 && i + 1 < argc)
       insitu_mode = argv[++i];
+    else if (std::strcmp(argv[i], "--clustered") == 0)
+      clustered = true;
   }
   const char* small_env = std::getenv("TESS_BENCH_SMALL");
   const bool small = small_env != nullptr && *small_env != '\0' &&
                      *small_env != '0';
+  if (clustered) {
+    const std::string prefix = bench::obs_begin("BENCH_fig10_clustered");
+    const int failures = clustered_section(small);
+    bench::obs_export(prefix);
+    std::printf("observability: %s.summary.{json,tsv}, %s.trace.json\n",
+                prefix.c_str(), prefix.c_str());
+    return failures == 0 ? 0 : 1;
+  }
   const std::string prefix = bench::obs_begin("BENCH_fig10");
 
   std::printf("== Figure 10: strong and weak scaling of tessellation time ==%s\n\n",

@@ -1,6 +1,8 @@
 #include "core/block_mesh.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace tess::core {
 
@@ -66,6 +68,39 @@ void BlockMesh::append(const BlockMesh& other) {
     face_offsets.push_back(static_cast<std::uint32_t>(face_verts.size()));
     face_neighbors.push_back(other.face_neighbors[f]);
   }
+}
+
+void BlockMesh::append_cell(const BlockMesh& src, std::size_t cell) {
+  const CellRecord& c = src.cells[cell];
+  CellRecord rec = c;
+  rec.first_face = static_cast<std::uint32_t>(num_faces());
+  for (std::size_t f = c.first_face; f < c.first_face + c.num_faces; ++f) {
+    for (std::size_t i = src.face_offsets[f]; i < src.face_offsets[f + 1]; ++i)
+      face_verts.push_back(weld_vertex(src.vertices[src.face_verts[i]]));
+    face_offsets.push_back(static_cast<std::uint32_t>(face_verts.size()));
+    face_neighbors.push_back(src.face_neighbors[f]);
+  }
+  cells.push_back(rec);
+}
+
+BlockMesh canonical_merge(const std::vector<BlockMesh>& blocks) {
+  BlockMesh merged;
+  if (blocks.empty()) return merged;
+  merged.bounds = blocks.front().bounds;
+  std::vector<std::pair<std::int64_t, std::pair<std::size_t, std::size_t>>>
+      order;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (std::size_t a = 0; a < 3; ++a) {
+      merged.bounds.min[a] = std::min(merged.bounds.min[a], blocks[b].bounds.min[a]);
+      merged.bounds.max[a] = std::max(merged.bounds.max[a], blocks[b].bounds.max[a]);
+    }
+    for (std::size_t i = 0; i < blocks[b].cells.size(); ++i)
+      order.push_back({blocks[b].cells[i].site_id, {b, i}});
+  }
+  std::sort(order.begin(), order.end());
+  for (const auto& [site, loc] : order)
+    merged.append_cell(blocks[loc.first], loc.second);
+  return merged;
 }
 
 double BlockMesh::avg_faces_per_cell() const {

@@ -60,6 +60,10 @@ class BlockMesh {
   /// with the serial first-occurrence representatives.
   void append(const BlockMesh& other);
 
+  /// Append a single cell of `src`, re-welding its vertices against this
+  /// mesh (the per-cell form of append, used by canonical_merge).
+  void append_cell(const BlockMesh& src, std::size_t cell);
+
   /// Average faces per cell / vertices per face (paper's data-model stats).
   [[nodiscard]] double avg_faces_per_cell() const;
   [[nodiscard]] double avg_verts_per_face() const;
@@ -91,5 +95,16 @@ class BlockMesh {
   };
   std::unordered_map<Key, std::uint32_t, KeyHash> weld_map_;
 };
+
+/// Merge per-block meshes into one canonical global mesh whose bytes are
+/// independent of the decomposition that produced the blocks: cells are
+/// appended in ascending site-id order (sites are globally unique, each
+/// kept by exactly one owner) with vertices re-welded, and the bounds are
+/// the union of the block bounds (= the domain for any full tiling). Two
+/// runs that keep the same cell set — e.g. a uniform grid and a k-d
+/// decomposition of the same certified tessellation — serialize to
+/// identical bytes. This is the currency of the repartition-invariance
+/// harness.
+[[nodiscard]] BlockMesh canonical_merge(const std::vector<BlockMesh>& blocks);
 
 }  // namespace tess::core

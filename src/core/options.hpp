@@ -61,6 +61,26 @@ struct TessOptions {
   /// cells are computed in fixed chunks and merged in site order.
   int threads = 1;
 
+  /// Adaptive, load-balanced decomposition (only meaningful through
+  /// tessellate_step). After each step the per-rank cell-build seconds are
+  /// allgathered and reduced to a max/mean imbalance factor; when it
+  /// reaches `repart_trigger`, the next step first rebuilds a
+  /// mass-weighted k-d decomposition from the current particles
+  /// (collective; identical on every rank) and migrates particles to the
+  /// new owners. The merged mesh is byte-identical whether or not a
+  /// repartition happened — the decomposition only changes who computes
+  /// which certified cell.
+  bool adaptive = false;
+
+  /// Imbalance factor (max/mean, 1 = perfectly balanced) at or above which
+  /// an adaptive repartition is scheduled for the next step. Hysteresis:
+  /// well-balanced runs never repartition, and after a repartition the
+  /// factor must climb back over the trigger to cause another one.
+  double repart_trigger = 1.25;
+
+  /// Minimum number of steps between adaptive repartitions (thrash guard).
+  int repart_cooldown = 2;
+
   /// Geometry backend for the per-cell clip loop: kScalar sweeps candidates
   /// one at a time, kSimd runs the batched filters four lanes wide. kAuto
   /// (default) resolves via the TESS_GEOM_BACKEND environment variable

@@ -35,4 +35,13 @@ std::vector<BlockMesh> gather_meshes(comm::Comm& comm, const BlockMesh& mesh) {
   return all;
 }
 
+std::vector<std::byte> merged_mesh_bytes(comm::Comm& comm,
+                                         const BlockMesh& mesh) {
+  const auto all = gather_meshes(comm, mesh);
+  if (comm.rank() != 0) return {};
+  diy::Buffer buf;
+  canonical_merge(all).serialize(buf);
+  return buf.data();
+}
+
 }  // namespace tess::core

@@ -3,6 +3,7 @@
 // simulation attached, and gather per-block meshes for in-process analysis.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "comm/comm.hpp"
@@ -21,5 +22,13 @@ BlockMesh standalone_tessellate(comm::Comm& comm, const diy::Decomposition& deco
 /// Gather every rank's mesh to rank 0 (block order preserved); other ranks
 /// receive an empty vector. Collective.
 std::vector<BlockMesh> gather_meshes(comm::Comm& comm, const BlockMesh& mesh);
+
+/// Collective: gather all blocks to rank 0, canonical_merge them, and
+/// return the merged mesh's serialized bytes (empty on other ranks). The
+/// bytes depend only on the kept cell set, not on which decomposition
+/// produced it — the comparison currency of the repartition-invariance
+/// harness.
+std::vector<std::byte> merged_mesh_bytes(comm::Comm& comm,
+                                         const BlockMesh& mesh);
 
 }  // namespace tess::core

@@ -6,7 +6,9 @@
 
 #include "comm/fault.hpp"
 #include "diy/blockio.hpp"
+#include "diy/repartition.hpp"
 #include "geom/cell_builder.hpp"
+#include "obs/analyze.hpp"
 #include "geom/convex_hull.hpp"
 #include "geom/predicates.hpp"
 #include "obs/metrics.hpp"
@@ -21,6 +23,11 @@ namespace {
 /// bounded-retry receive budget on every incomplete rank, so reaching this
 /// streak means the missing data is effectively unrecoverable.
 constexpr int kMaxFailedExchangePasses = 8;
+
+/// Adaptive-mode particle migration into the active decomposition; kept
+/// off the ghost/migrate tags so the fault injector can target it
+/// independently.
+constexpr int kTagAdaptiveMigrate = 103;
 }  // namespace
 
 Tessellator::Tessellator(comm::Comm& comm, const diy::Decomposition& decomp,
@@ -29,7 +36,8 @@ Tessellator::Tessellator(comm::Comm& comm, const diy::Decomposition& decomp,
       decomp_(&decomp),
       options_(options),
       backend_(geom::resolve_backend(options.backend)),
-      exchanger_(comm, decomp),
+      active_(&decomp),
+      exchanger_(std::make_unique<diy::Exchanger>(comm, decomp)),
       pool_(std::make_unique<util::ThreadPool>(options.threads)) {}
 
 namespace {
@@ -113,9 +121,53 @@ BlockMesh Tessellator::tessellate_step(int step,
   // even though the caller (the pipeline's simulation thread) has moved on.
   retained_ = std::move(particles);
   current_step_ = step;
+  if (options_.adaptive) adaptive_prepare(step);
   BlockMesh mesh = tessellate(retained_);
+  if (options_.adaptive) adaptive_decide(step);
   current_step_ = -1;
   return mesh;
+}
+
+void Tessellator::adaptive_prepare(int step) {
+  if (repart_pending_) {
+    // Step N-1's imbalance scheduled this rebuild: a fresh mass-weighted
+    // k-d tree over the current global particle distribution, identical on
+    // every rank (built collectively), then a fresh exchanger against it.
+    TESS_SPAN("tess.repartition.build");
+    repart_pending_ = false;
+    adaptive_decomp_ = diy::collective_kd(*comm_, *decomp_, retained_);
+    active_ = adaptive_decomp_.get();
+    exchanger_ = std::make_unique<diy::Exchanger>(*comm_, *active_);
+    ++repartitions_;
+    last_repart_step_ = step;
+    TESS_COUNT("tess.repartition.count", 1);
+  }
+  if (active_ != decomp_) {
+    // The caller still hands particles over in the simulation's layout;
+    // route them to their adaptive owners before tessellating.
+    TESS_SPAN("tess.repartition.migrate");
+    retained_ = diy::migrate_items(
+        *comm_, *active_, std::move(retained_),
+        [](diy::Particle& p) -> geom::Vec3& { return p.pos; },
+        kTagAdaptiveMigrate);
+    TESS_GAUGE_SET("tess.repartition.local_particles",
+                   static_cast<double>(retained_.size()));
+  }
+}
+
+void Tessellator::adaptive_decide(int step) {
+  TESS_SPAN("tess.repartition.decide");
+  // Every rank sees every rank's cell-build seconds, so the hysteresis
+  // decision below is a pure function of shared data — collective and
+  // divergence-free even under the pipelined driver.
+  const auto seconds = comm_->allgather(stats_.compute_seconds);
+  last_imbalance_ = obs::imbalance_factor(seconds);
+  TESS_GAUGE_SET("tess.repartition.imbalance", last_imbalance_);
+  const bool cooled = static_cast<long long>(step) >=
+                      static_cast<long long>(last_repart_step_) +
+                          options_.repart_cooldown;
+  repart_pending_ = cooled && last_imbalance_ >= options_.repart_trigger;
+  if (repart_pending_) TESS_COUNT("tess.repartition.scheduled", 1);
 }
 
 BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
@@ -134,12 +186,12 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
   // re-exchanges and rebuilds everything; the two modes emit byte-identical
   // meshes (asserted by tests), differing only in work done.
   util::ThreadCpuTimer timer;
-  const geom::Vec3 dsize = decomp_->domain_size();
+  const geom::Vec3 dsize = active_->domain_size();
   const double ghost_cap =
       options_.auto_ghost_max_fraction * std::min({dsize.x, dsize.y, dsize.z});
   double ghost = std::min(std::max(options_.ghost, 1e-12), ghost_cap);
   const bool reuse = options_.incremental;
-  const auto bounds = exchanger_.my_bounds();
+  const auto bounds = exchanger_->my_bounds();
   const std::size_t n = mine.size();
 
   double early_diam2 = 0.0;
@@ -205,9 +257,9 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
     } else {
       TESS_SPAN(fresh ? "tess.exchange" : "tess.exchange_delta");
       ghosts = fresh
-                   ? exchanger_.exchange_ghost(mine, ghost)
-                   : exchanger_.exchange_ghost_delta(mine, prev_ghost, ghost);
-      have = exchanger_.last_exchange_complete();
+                   ? exchanger_->exchange_ghost(mine, ghost)
+                   : exchanger_->exchange_ghost_delta(mine, prev_ghost, ghost);
+      have = exchanger_->last_exchange_complete();
     }
     timer.stop();
 
@@ -234,7 +286,7 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
     IterationStats iter;
     iter.ghost = ghost;
     iter.exchange_seconds = timer.seconds();
-    iter.ghost_sent = exchanger_.last_sent();
+    iter.ghost_sent = exchanger_->last_sent();
     iter.ghost_received = ghosts.size();
 
     // 2. Builder: construct fresh or append the annulus to the existing
@@ -399,7 +451,7 @@ BlockMesh Tessellator::tessellate_auto(const std::vector<diy::Particle>& mine) {
     // nothing — a certified cell stays complete and certified at any larger
     // ghost — so this count matches what a full rebuild would report.
     std::size_t unresolved = pass_uncertified;
-    if (decomp_->periodic()) unresolved += pass_incomplete;
+    if (active_->periodic()) unresolved += pass_incomplete;
     const auto total = comm_->allreduce_sum(unresolved);
     if (total == 0 || ghost >= ghost_cap) break;
 
@@ -458,12 +510,12 @@ BlockMesh Tessellator::tessellate_once(const std::vector<diy::Particle>& mine,
   std::vector<diy::Particle> ghosts;
   {
     TESS_SPAN("tess.exchange");
-    ghosts = exchanger_.exchange_ghost(mine, ghost);
+    ghosts = exchanger_->exchange_ghost(mine, ghost);
   }
   if (comm::faults().armed()) {
     int streak = 0;
     while (true) {
-      const bool have = exchanger_.last_exchange_complete();
+      const bool have = exchanger_->last_exchange_complete();
       const std::size_t missing =
           comm_->allreduce_sum(static_cast<std::size_t>(have ? 0 : 1));
       if (missing == 0) break;
@@ -475,21 +527,21 @@ BlockMesh Tessellator::tessellate_once(const std::vector<diy::Particle>& mine,
             " consecutive attempts");
       if (!have) {
         TESS_SPAN("tess.exchange");
-        ghosts = exchanger_.exchange_ghost(mine, ghost);
+        ghosts = exchanger_->exchange_ghost(mine, ghost);
       }
     }
   }
   timer.stop();
   stats_.exchange_seconds = timer.seconds();
   stats_.ghost_received = ghosts.size();
-  stats_.ghost_sent = exchanger_.last_sent();
+  stats_.ghost_sent = exchanger_->last_sent();
   TESS_COUNT("tess.ghost_sent", stats_.ghost_sent);
   TESS_COUNT("tess.ghost_received", stats_.ghost_received);
 
   // 2-4. Local Voronoi computation and culling.
   timer.reset();
   timer.start();
-  const auto bounds = exchanger_.my_bounds();
+  const auto bounds = exchanger_->my_bounds();
   const auto seed = bounds.grown(ghost);
 
   std::vector<geom::Vec3> pts;

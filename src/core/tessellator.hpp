@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -107,6 +108,17 @@ class Tessellator {
   /// auto-ghost passes referencing the snapshot — runs on another thread.
   /// The snapshot is retained until the next tessellate_step(). The span
   /// is tagged with `step` so overlapped traces stay attributable.
+  ///
+  /// With options.adaptive this is also where the observability loop
+  /// closes: particles are first migrated into the currently active
+  /// decomposition (the caller keeps handing them over in the simulation's
+  /// layout); if the previous step's imbalance scheduled a repartition, a
+  /// mass-weighted k-d decomposition is rebuilt collectively from the
+  /// current particles and the particles migrate to their new owners;
+  /// after tessellation the per-rank build seconds are allgathered into
+  /// the imbalance factor that decides about step N+1. All collectives run
+  /// on this call's thread/plane, so the decision is deterministic across
+  /// ranks even under the pipelined driver.
   BlockMesh tessellate_step(int step, std::vector<diy::Particle> particles);
 
   /// Parallel write of this rank's mesh to one shared file. Collective.
@@ -122,11 +134,28 @@ class Tessellator {
 
   [[nodiscard]] const TessOptions& options() const { return options_; }
 
+  /// The decomposition tessellation currently runs on: the constructor's
+  /// until an adaptive repartition replaces it with an owned k-d tree.
+  [[nodiscard]] const diy::Decomposition& active_decomposition() const {
+    return *active_;
+  }
+  /// Adaptive repartitions performed so far (0 unless options.adaptive).
+  [[nodiscard]] int repartitions() const { return repartitions_; }
+  /// Imbalance factor measured after the last adaptive tessellate_step
+  /// (max/mean of per-rank cell-build seconds; 1 = perfectly balanced).
+  [[nodiscard]] double last_imbalance() const { return last_imbalance_; }
+
  private:
   BlockMesh tessellate_once(const std::vector<diy::Particle>& mine, double ghost);
   /// The auto-ghost doubling loop (incremental or restart-from-scratch per
   /// options.incremental; both produce byte-identical meshes).
   BlockMesh tessellate_auto(const std::vector<diy::Particle>& mine);
+  /// Apply a scheduled repartition and/or migrate `particles` into the
+  /// active decomposition (adaptive mode; collective).
+  void adaptive_prepare(int step);
+  /// Measure post-step imbalance and schedule a repartition (adaptive
+  /// mode; collective).
+  void adaptive_decide(int step);
 
   comm::Comm* comm_;
   const diy::Decomposition* decomp_;
@@ -134,7 +163,16 @@ class Tessellator {
   /// options_.backend resolved once at construction (kAuto collapsed via
   /// TESS_GEOM_BACKEND), so one tessellation never mixes backends.
   geom::TessBackend backend_ = geom::TessBackend::kScalar;
-  diy::Exchanger exchanger_;
+  /// Adaptive state: `active_` points at the decomposition in use (the
+  /// constructor's, or `adaptive_decomp_` after a repartition); the
+  /// exchanger is rebuilt against it on every swap.
+  const diy::Decomposition* active_;
+  std::unique_ptr<diy::Decomposition> adaptive_decomp_;
+  std::unique_ptr<diy::Exchanger> exchanger_;
+  bool repart_pending_ = false;
+  int repartitions_ = 0;
+  int last_repart_step_ = std::numeric_limits<int>::min();
+  double last_imbalance_ = 1.0;
   TessStats stats_;
   /// Intra-rank worker pool for the per-cell loop (options.threads; owned
   /// by this rank, so total threads stay bounded by ranks x threads).

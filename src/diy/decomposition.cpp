@@ -17,16 +17,198 @@ double Bounds::distance(const Vec3& p) const {
   return std::sqrt(d2);
 }
 
+double Bounds::box_distance(const Bounds& o) const {
+  double d2 = 0.0;
+  for (std::size_t a = 0; a < 3; ++a) {
+    double d = 0.0;
+    if (o.min[a] > max[a]) d = o.min[a] - max[a];
+    else if (min[a] > o.max[a]) d = min[a] - o.max[a];
+    d2 += d * d;
+  }
+  return std::sqrt(d2);
+}
+
 Decomposition::Decomposition(const Vec3& domain_min, const Vec3& domain_max,
                              const std::array<int, 3>& blocks_per_dim,
                              bool periodic)
     : domain_min_(domain_min), domain_max_(domain_max), dims_(blocks_per_dim),
-      periodic_(periodic) {
+      periodic_(periodic), kind_(DecompKind::kGrid) {
   for (int d : dims_)
     if (d < 1) throw std::invalid_argument("Decomposition: dims must be >= 1");
   for (std::size_t a = 0; a < 3; ++a)
     if (!(domain_max_[a] > domain_min_[a]))
       throw std::invalid_argument("Decomposition: empty domain");
+  nblocks_ = dims_[0] * dims_[1] * dims_[2];
+}
+
+Decomposition::Decomposition(const Vec3& domain_min, const Vec3& domain_max,
+                             bool periodic, int nblocks,
+                             std::vector<KdSplit> splits)
+    : domain_min_(domain_min), domain_max_(domain_max), periodic_(periodic),
+      kind_(DecompKind::kTree), nblocks_(nblocks), splits_(std::move(splits)) {
+  for (std::size_t a = 0; a < 3; ++a)
+    if (!(domain_max_[a] > domain_min_[a]))
+      throw std::invalid_argument("Decomposition: empty domain");
+  if (nblocks_ < 1)
+    throw std::invalid_argument("Decomposition: nblocks must be >= 1");
+  if (splits_.size() + 1 != static_cast<std::size_t>(nblocks_))
+    throw std::invalid_argument("Decomposition: split count must be nblocks-1");
+  build_tree_bounds();
+}
+
+void Decomposition::build_tree_bounds() {
+  tree_bounds_.assign(nblocks_, Bounds{});
+  std::vector<char> seen(nblocks_, 0);
+  struct Item {
+    int child;  // >= 0: split node index, < 0: leaf block ~child
+    Bounds box;
+  };
+  std::vector<Item> stack;
+  stack.push_back({splits_.empty() ? ~0 : 0, Bounds{domain_min_, domain_max_}});
+  int leaves = 0;
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    if (it.child < 0) {
+      const int b = ~it.child;
+      if (b < 0 || b >= nblocks_ || seen[b])
+        throw std::invalid_argument("Decomposition: bad k-d leaf block id");
+      seen[b] = 1;
+      tree_bounds_[b] = it.box;
+      ++leaves;
+      continue;
+    }
+    if (static_cast<std::size_t>(it.child) >= splits_.size())
+      throw std::invalid_argument("Decomposition: k-d node index out of range");
+    const KdSplit& s = splits_[it.child];
+    if (s.axis < 0 || s.axis > 2 ||
+        !(s.coord > it.box.min[s.axis] && s.coord < it.box.max[s.axis]))
+      throw std::invalid_argument("Decomposition: k-d split outside its box");
+    Bounds lbox = it.box, rbox = it.box;
+    lbox.max[s.axis] = s.coord;
+    rbox.min[s.axis] = s.coord;
+    stack.push_back({s.left, lbox});
+    stack.push_back({s.right, rbox});
+    if (stack.size() > splits_.size() + 1)
+      throw std::invalid_argument("Decomposition: malformed k-d tree");
+  }
+  if (leaves != nblocks_)
+    throw std::invalid_argument("Decomposition: k-d tree leaf count mismatch");
+}
+
+namespace {
+
+struct KdSample {
+  Vec3 p;
+  double w;
+};
+
+// Weighted split coordinate: the position along `axis` where the prefix
+// weight of the (sorted) sample best matches `frac` of the total. Ties are
+// grouped at distinct-coordinate granularity so the result is independent
+// of input order; the cut lands midway between two adjacent distinct
+// coordinates so no sample sits exactly on the plane.
+double choose_split(std::vector<KdSample>::iterator lo,
+                    std::vector<KdSample>::iterator hi, int axis,
+                    const Bounds& box, double frac) {
+  const double geometric =
+      box.min[axis] + frac * (box.max[axis] - box.min[axis]);
+  if (lo == hi) return geometric;
+  std::sort(lo, hi, [axis](const KdSample& a, const KdSample& b) {
+    return a.p[axis] < b.p[axis];
+  });
+  // Distinct coordinates with aggregated weights.
+  std::vector<std::pair<double, double>> groups;  // (coord, weight)
+  for (auto it = lo; it != hi; ++it) {
+    if (!groups.empty() && groups.back().first == it->p[axis])
+      groups.back().second += it->w;
+    else
+      groups.emplace_back(it->p[axis], it->w);
+  }
+  if (groups.size() < 2) return geometric;
+  double total = 0.0;
+  for (const auto& g : groups) total += g.second;
+  const double target = frac * total;
+  double best = geometric, best_err = std::abs(target);  // empty prefix
+  double prefix = 0.0;
+  bool have = false;
+  for (std::size_t g = 0; g + 1 < groups.size(); ++g) {
+    prefix += groups[g].second;
+    const double err = std::abs(prefix - target);
+    const double cut = 0.5 * (groups[g].first + groups[g + 1].first);
+    if (!have || err < best_err) {
+      best = cut;
+      best_err = err;
+      have = true;
+    }
+  }
+  return best;
+}
+
+int longest_axis(const Bounds& box) {
+  int axis = 0;
+  double w = box.max[0] - box.min[0];
+  for (int a = 1; a < 3; ++a) {
+    const double wa = box.max[a] - box.min[a];
+    if (wa > w) {
+      w = wa;
+      axis = a;
+    }
+  }
+  return axis;
+}
+
+int build_kd(std::vector<KdSplit>& splits, std::vector<KdSample>& pts,
+             std::size_t lo, std::size_t hi, const Bounds& box, int b0,
+             int n) {
+  if (n == 1) return ~b0;
+  const int nl = n / 2;
+  const int axis = longest_axis(box);
+  const double frac = static_cast<double>(nl) / n;
+  double c = choose_split(pts.begin() + lo, pts.begin() + hi, axis, box, frac);
+  // Keep both child boxes non-degenerate even for pathological samples.
+  const double margin = 1e-3 * (box.max[axis] - box.min[axis]);
+  c = std::clamp(c, box.min[axis] + margin, box.max[axis] - margin);
+  const auto mid =
+      std::partition(pts.begin() + lo, pts.begin() + hi,
+                     [axis, c](const KdSample& s) { return s.p[axis] < c; });
+  const std::size_t m = static_cast<std::size_t>(mid - pts.begin());
+  const int node = static_cast<int>(splits.size());
+  splits.push_back({axis, c, 0, 0});
+  Bounds lbox = box, rbox = box;
+  lbox.max[axis] = c;
+  rbox.min[axis] = c;
+  const int l = build_kd(splits, pts, lo, m, lbox, b0, nl);
+  const int r = build_kd(splits, pts, m, hi, rbox, b0 + nl, n - nl);
+  splits[node].left = l;
+  splits[node].right = r;
+  return node;
+}
+
+}  // namespace
+
+Decomposition Decomposition::kd(const Vec3& domain_min, const Vec3& domain_max,
+                                bool periodic, int nblocks,
+                                const std::vector<Vec3>& points,
+                                const std::vector<double>* weights) {
+  if (nblocks < 1)
+    throw std::invalid_argument("Decomposition::kd: nblocks must be >= 1");
+  if (weights && weights->size() != points.size())
+    throw std::invalid_argument("Decomposition::kd: weights/points mismatch");
+  // Wrap samples into the primary domain so the split tree tiles it.
+  Decomposition domain_only(domain_min, domain_max, {1, 1, 1}, periodic);
+  std::vector<KdSample> pts;
+  pts.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    pts.push_back({domain_only.wrap(points[i]), weights ? (*weights)[i] : 1.0});
+  std::vector<KdSplit> splits;
+  if (nblocks > 1) {
+    splits.reserve(nblocks - 1);
+    build_kd(splits, pts, 0, pts.size(), Bounds{domain_min, domain_max}, 0,
+             nblocks);
+  }
+  return Decomposition(domain_min, domain_max, periodic, nblocks,
+                       std::move(splits));
 }
 
 std::array<int, 3> Decomposition::factor(int nblocks) {
@@ -52,7 +234,18 @@ std::array<int, 3> Decomposition::factor(int nblocks) {
   return dims;
 }
 
+const std::array<int, 3>& Decomposition::dims() const {
+  if (kind_ != DecompKind::kGrid)
+    throw std::logic_error("Decomposition::dims: grid layout only");
+  return dims_;
+}
+
 Bounds Decomposition::block_bounds(int block) const {
+  if (kind_ == DecompKind::kTree) {
+    if (block < 0 || block >= nblocks_)
+      throw std::out_of_range("Decomposition: block index");
+    return tree_bounds_[block];
+  }
   const auto c = block_coords(block);
   const Vec3 size = domain_size();
   Bounds b;
@@ -65,6 +258,8 @@ Bounds Decomposition::block_bounds(int block) const {
 }
 
 std::array<int, 3> Decomposition::block_coords(int block) const {
+  if (kind_ != DecompKind::kGrid)
+    throw std::logic_error("Decomposition::block_coords: grid layout only");
   if (block < 0 || block >= num_blocks())
     throw std::out_of_range("Decomposition: block index");
   return {block % dims_[0], (block / dims_[0]) % dims_[1],
@@ -72,6 +267,8 @@ std::array<int, 3> Decomposition::block_coords(int block) const {
 }
 
 int Decomposition::block_index(const std::array<int, 3>& c) const {
+  if (kind_ != DecompKind::kGrid)
+    throw std::logic_error("Decomposition::block_index: grid layout only");
   return (c[2] * dims_[1] + c[1]) * dims_[0] + c[0];
 }
 
@@ -88,6 +285,16 @@ Vec3 Decomposition::wrap(const Vec3& p) const {
 
 int Decomposition::block_of_point(const Vec3& p) const {
   const Vec3 q = wrap(p);
+  if (kind_ == DecompKind::kTree) {
+    if (splits_.empty()) return 0;
+    int node = 0;
+    for (;;) {
+      const KdSplit& s = splits_[node];
+      const int child = (q[s.axis] < s.coord) ? s.left : s.right;
+      if (child < 0) return ~child;
+      node = child;
+    }
+  }
   const Vec3 size = domain_size();
   std::array<int, 3> c{};
   for (std::size_t a = 0; a < 3; ++a) {
@@ -98,6 +305,7 @@ int Decomposition::block_of_point(const Vec3& p) const {
 }
 
 std::vector<Neighbor> Decomposition::neighbors(int block) const {
+  if (kind_ == DecompKind::kTree) return neighbors_within(block, 0.0);
   const auto c = block_coords(block);
   const Vec3 size = domain_size();
   std::vector<Neighbor> out;
@@ -126,6 +334,42 @@ std::vector<Neighbor> Decomposition::neighbors(int block) const {
         if (std::find(out.begin(), out.end(), nb) == out.end()) out.push_back(nb);
       }
   return out;
+}
+
+std::vector<Neighbor> Decomposition::compute_neighbors_within(
+    int block, double reach) const {
+  const Bounds me = block_bounds(block);
+  const Vec3 size = domain_size();
+  const int span = periodic_ ? 1 : 0;
+  std::vector<Neighbor> out;
+  for (int b = 0; b < nblocks_; ++b) {
+    const Bounds bb = block_bounds(b);
+    for (int sz = -span; sz <= span; ++sz)
+      for (int sy = -span; sy <= span; ++sy)
+        for (int sx = -span; sx <= span; ++sx) {
+          if (b == block && sx == 0 && sy == 0 && sz == 0) continue;
+          const Vec3 s{sx * size.x, sy * size.y, sz * size.z};
+          if (me.shifted(s).box_distance(bb) <= reach) out.push_back({b, s});
+        }
+  }
+  return out;
+}
+
+std::vector<Neighbor> Decomposition::neighbors_within(int block,
+                                                      double reach) const {
+  if (block < 0 || block >= nblocks_)
+    throw std::out_of_range("Decomposition: block index");
+  const auto key = std::make_pair(block, reach);
+  {
+    std::lock_guard<std::mutex> lock(nbr_mutex_);
+    auto it = nbr_cache_.find(key);
+    if (it != nbr_cache_.end()) return *it->second;
+  }
+  auto computed = std::make_shared<const std::vector<Neighbor>>(
+      compute_neighbors_within(block, reach));
+  std::lock_guard<std::mutex> lock(nbr_mutex_);
+  auto [it, inserted] = nbr_cache_.emplace(key, std::move(computed));
+  return *it->second;
 }
 
 }  // namespace tess::diy

@@ -1,5 +1,4 @@
-// Regular block decomposition of a 3D domain with 26-connectivity and
-// periodic boundary neighbors.
+// Block decomposition of a 3D domain with periodic boundary neighbors.
 //
 // This mirrors the role DIY plays for tess in the paper: the simulation
 // hands the analysis its block decomposition and neighborhood connectivity,
@@ -7,9 +6,21 @@
 // two features the paper added to DIY — periodic boundary neighbors with a
 // coordinate transform, and destination selection by proximity to a target
 // point — live here and in exchange.hpp.
+//
+// Two layouts share one concrete class:
+//   * kGrid — the original regular bx*by*bz tiling (uniform blocks).
+//   * kTree — a mass-weighted k-d (recursive bisection) tiling of
+//     non-uniform convex blocks, built from a particle sample so each
+//     block carries roughly equal work (PARAVT-style irregular domains).
+// Both expose the same point-routing and neighbor-discovery API; only the
+// grid keeps the tensor helpers (dims/block_coords/block_index).
 #pragma once
 
 #include <array>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "geom/vec3.hpp"
@@ -28,8 +39,13 @@ struct Bounds {
   }
   /// Euclidean distance from p to the closed box (0 if inside).
   [[nodiscard]] double distance(const Vec3& p) const;
+  /// Euclidean distance between two closed boxes (0 if they touch).
+  [[nodiscard]] double box_distance(const Bounds& o) const;
   [[nodiscard]] Bounds grown(double t) const {
     return {min - Vec3{t, t, t}, max + Vec3{t, t, t}};
+  }
+  [[nodiscard]] Bounds shifted(const Vec3& s) const {
+    return {min + s, max + s};
   }
 };
 
@@ -46,46 +62,110 @@ struct Neighbor {
   }
 };
 
-/// Regular decomposition of [domain_min, domain_max) into bx*by*bz blocks.
+/// Which layout a Decomposition uses.
+enum class DecompKind { kGrid, kTree };
+
+/// One internal node of a k-d split tree. Trivially copyable so a split
+/// tree built collectively on one rank can be broadcast as raw bytes.
+/// Children encode either another split node (index >= 0 into the node
+/// array) or a leaf block (~child is the block id).
+struct KdSplit {
+  int axis = 0;      // 0=x 1=y 2=z
+  double coord = 0;  // points with p[axis] < coord route left
+  int left = -1;
+  int right = -1;
+};
+
+/// Decomposition of [domain_min, domain_max) into disjoint convex blocks.
 class Decomposition {
  public:
+  /// Regular grid of bx*by*bz uniform blocks.
   Decomposition(const Vec3& domain_min, const Vec3& domain_max,
                 const std::array<int, 3>& blocks_per_dim, bool periodic);
+
+  /// k-d tiling reconstructed from an explicit split tree (the broadcast
+  /// side of a collective build). Validates that the tree tiles the domain
+  /// into exactly `nblocks` leaves with each block id appearing once.
+  Decomposition(const Vec3& domain_min, const Vec3& domain_max, bool periodic,
+                int nblocks, std::vector<KdSplit> splits);
+
+  /// Mass-weighted recursive bisection: split the longest axis of each box
+  /// at the weighted median of the contained sample points until `nblocks`
+  /// leaves exist. `weights` is optional (HACC particles are equal-mass, so
+  /// the default is unit weight per point). Deterministic for a given
+  /// point multiset: ties in the split coordinate are resolved at distinct-
+  /// coordinate granularity, independent of input order.
+  static Decomposition kd(const Vec3& domain_min, const Vec3& domain_max,
+                          bool periodic, int nblocks,
+                          const std::vector<Vec3>& points,
+                          const std::vector<double>* weights = nullptr);
 
   /// Near-cubic factorization of `nblocks` used when the caller only knows
   /// the total count (one block per rank).
   static std::array<int, 3> factor(int nblocks);
 
-  [[nodiscard]] int num_blocks() const {
-    return dims_[0] * dims_[1] * dims_[2];
-  }
-  [[nodiscard]] const std::array<int, 3>& dims() const { return dims_; }
+  [[nodiscard]] DecompKind kind() const { return kind_; }
+  [[nodiscard]] int num_blocks() const { return nblocks_; }
+  /// Grid layout only.
+  [[nodiscard]] const std::array<int, 3>& dims() const;
+  /// Tree layout only: the split tree (empty when nblocks == 1).
+  [[nodiscard]] const std::vector<KdSplit>& splits() const { return splits_; }
   [[nodiscard]] bool periodic() const { return periodic_; }
   [[nodiscard]] const Vec3& domain_min() const { return domain_min_; }
   [[nodiscard]] const Vec3& domain_max() const { return domain_max_; }
   [[nodiscard]] Vec3 domain_size() const { return domain_max_ - domain_min_; }
 
   [[nodiscard]] Bounds block_bounds(int block) const;
+  /// Grid layout only.
   [[nodiscard]] std::array<int, 3> block_coords(int block) const;
+  /// Grid layout only.
   [[nodiscard]] int block_index(const std::array<int, 3>& c) const;
 
   /// The block containing p (p is wrapped into the domain when periodic,
   /// clamped otherwise).
   [[nodiscard]] int block_of_point(const Vec3& p) const;
 
-  /// All distinct neighbor relationships of `block` (up to 26, fewer at
-  /// non-periodic domain edges; periodic neighbors carry nonzero shifts;
-  /// with very few blocks per dimension the same block can appear multiple
-  /// times under different shifts, including itself).
+  /// All distinct neighbor relationships of `block` (for a grid: up to 26,
+  /// fewer at non-periodic domain edges; periodic neighbors carry nonzero
+  /// shifts; with very few blocks per dimension the same block can appear
+  /// multiple times under different shifts, including itself). For a tree
+  /// layout this is neighbors_within(block, 0): every block touching mine.
   [[nodiscard]] std::vector<Neighbor> neighbors(int block) const;
+
+  /// Generic neighbor discovery from block extents: every (block, shift)
+  /// pair whose box lies within `reach` of some periodic image of `block`'s
+  /// box — i.e. a particle of mine, translated by `shift`, could fall
+  /// inside that block's bounds grown by `reach`. Works for both layouts
+  /// and any reach (a grid block two cells away shows up once reach
+  /// exceeds the intervening block's width, which the fixed 26-stencil
+  /// could not express). Periodic images consider one wrap per axis, which
+  /// covers any reach up to the domain size. Results are memoised per
+  /// (block, reach); the cache is mutex-guarded because rank threads share
+  /// one Decomposition.
+  [[nodiscard]] std::vector<Neighbor> neighbors_within(int block,
+                                                      double reach) const;
 
   /// Wrap a point into the primary domain (no-op when not periodic).
   [[nodiscard]] Vec3 wrap(const Vec3& p) const;
 
  private:
+  [[nodiscard]] std::vector<Neighbor> compute_neighbors_within(
+      int block, double reach) const;
+  void build_tree_bounds();
+
   Vec3 domain_min_, domain_max_;
-  std::array<int, 3> dims_;
-  bool periodic_;
+  std::array<int, 3> dims_{1, 1, 1};
+  bool periodic_ = false;
+  DecompKind kind_ = DecompKind::kGrid;
+  int nblocks_ = 1;
+  std::vector<KdSplit> splits_;        // tree layout
+  std::vector<Bounds> tree_bounds_;    // tree layout: per-block extents
+
+  // Lazy neighbor cache shared by all rank threads (see neighbors_within).
+  mutable std::mutex nbr_mutex_;
+  mutable std::map<std::pair<int, double>,
+                   std::shared_ptr<const std::vector<Neighbor>>>
+      nbr_cache_;
 };
 
 }  // namespace tess::diy

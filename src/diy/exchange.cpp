@@ -26,18 +26,26 @@ Exchanger::Exchanger(comm::Comm& comm, const Decomposition& decomp)
   if (decomp.num_blocks() != comm.size())
     throw std::invalid_argument(
         "Exchanger: one block per rank required (num_blocks != comm size)");
+}
 
-  nbrs_ = decomp.neighbors(my_block());
+void Exchanger::ensure_reach(double reach) {
+  if (reach == reach_) return;
+  reach_ = reach;
+  nbrs_ = decomp_->neighbors_within(my_block(), reach);
+  nbr_bounds_.clear();
   nbr_bounds_.reserve(nbrs_.size());
-  for (const auto& nb : nbrs_) nbr_bounds_.push_back(decomp.block_bounds(nb.block));
+  for (const auto& nb : nbrs_)
+    nbr_bounds_.push_back(decomp_->block_bounds(nb.block));
 
+  send_blocks_.clear();
   for (const auto& nb : nbrs_)
     if (nb.block != my_block()) send_blocks_.push_back(nb.block);
   std::sort(send_blocks_.begin(), send_blocks_.end());
   send_blocks_.erase(std::unique(send_blocks_.begin(), send_blocks_.end()),
                      send_blocks_.end());
-  send_bufs_.resize(send_blocks_.size());
+  send_bufs_.assign(send_blocks_.size(), {});
 
+  nbr_slot_.clear();
   nbr_slot_.reserve(nbrs_.size());
   for (const auto& nb : nbrs_) {
     if (nb.block == my_block()) {
@@ -79,6 +87,12 @@ std::vector<Particle> Exchanger::exchange_annulus(const std::vector<Particle>& m
     TESS_COUNT("diy.exchange_resumed", 1);
     return finish_exchange();
   }
+
+  // Discover the neighbor set for this pass's reach. The annulus partition
+  // property survives the per-pass set change: a neighbor first reachable
+  // at ghost_next has box distance > ghost_prev, so none of its annulus
+  // particles could have been owed by an earlier pass.
+  ensure_reach(ghost_next);
 
   // Target-point destination selection: particle p goes to neighbor n iff
   // its (periodically shifted) image lies within the (ghost_prev, ghost_next]

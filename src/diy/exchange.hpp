@@ -101,6 +101,7 @@ class Exchanger {
   std::vector<Particle> exchange_annulus(const std::vector<Particle>& mine,
                                          double ghost_prev, double ghost_next);
   std::vector<Particle> finish_exchange();
+  void ensure_reach(double reach);
 
   comm::Comm* comm_;
   const Decomposition* decomp_;
@@ -114,14 +115,18 @@ class Exchanger {
   std::vector<std::vector<Particle>> recv_store_;  // received, awaiting assembly
   std::vector<Particle> pending_self_;             // self-images of the pass
 
-  // Neighborhood state cached at construction (the decomposition is
-  // immutable): neighbor list, hoisted per-neighbor block bounds, the sorted
-  // unique destination blocks, and for each neighbor the index of its
-  // destination's send buffer (-1 = wrap-around image of this block itself).
-  // The flat send buffers are cleared and reused every exchange, replacing
-  // the per-call std::map<int, std::vector<Particle>> of the original
-  // implementation while keeping the same deterministic per-block message
+  // Neighborhood state recomputed per reach by ensure_reach (discovered
+  // from block extents via Decomposition::neighbors_within, so it is valid
+  // for both grid and k-d layouts and for ghost distances exceeding a
+  // block width): neighbor list, hoisted per-neighbor block bounds, the
+  // sorted unique destination blocks, and for each neighbor the index of
+  // its destination's send buffer (-1 = wrap-around image of this block
+  // itself). Every rank derives the same symmetric (block, shift) set from
+  // the same collective ghost argument, so the per-pass message pattern
+  // stays symmetric and deterministic. The flat send buffers are cleared
+  // and reused every exchange, keeping deterministic per-block message
   // content and (sorted-by-block) message order.
+  double reach_ = -1.0;
   std::vector<Neighbor> nbrs_;
   std::vector<Bounds> nbr_bounds_;
   std::vector<int> send_blocks_;

@@ -1,0 +1,38 @@
+#include "diy/repartition.hpp"
+
+#include "obs/trace.hpp"
+
+namespace tess::diy {
+
+std::vector<Vec3> sample_positions(const std::vector<Particle>& mine,
+                                   std::size_t max_sample) {
+  std::vector<Vec3> out;
+  if (mine.empty() || max_sample == 0) return out;
+  const std::size_t stride = (mine.size() + max_sample - 1) / max_sample;
+  out.reserve(mine.size() / stride + 1);
+  for (std::size_t i = 0; i < mine.size(); i += stride)
+    out.push_back(mine[i].pos);
+  return out;
+}
+
+std::unique_ptr<Decomposition> collective_kd(comm::Comm& comm,
+                                             const Decomposition& like,
+                                             const std::vector<Particle>& mine,
+                                             std::size_t max_sample_per_rank) {
+  TESS_SPAN("diy.repartition.build");
+  const auto sample = sample_positions(mine, max_sample_per_rank);
+  const auto all = comm.gatherv(sample);
+  std::vector<KdSplit> splits;
+  if (comm.rank() == 0) {
+    const auto built =
+        Decomposition::kd(like.domain_min(), like.domain_max(),
+                          like.periodic(), comm.size(), all);
+    splits = built.splits();
+  }
+  comm.broadcast(splits, 0);
+  return std::make_unique<Decomposition>(like.domain_min(), like.domain_max(),
+                                         like.periodic(), comm.size(),
+                                         std::move(splits));
+}
+
+}  // namespace tess::diy

@@ -1,0 +1,36 @@
+// Collective construction of mass-weighted k-d decompositions.
+//
+// The adaptive loop (core/tessellator) repartitions between time steps:
+// every rank contributes a deterministic sample of its particle positions,
+// rank 0 builds the recursive-bisection split tree over the union, and the
+// trivially-copyable split nodes are broadcast so all ranks reconstruct an
+// identical Decomposition. Particle migration to the new owners reuses
+// migrate_items (exchange.hpp).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "diy/decomposition.hpp"
+#include "diy/particle.hpp"
+
+namespace tess::diy {
+
+/// Deterministic stride sample of local particle positions: at most
+/// `max_sample` positions, every k-th particle. Keeps the rank-0 build
+/// cost bounded; the k-d tree only needs the density shape, not every
+/// particle.
+[[nodiscard]] std::vector<Vec3> sample_positions(
+    const std::vector<Particle>& mine, std::size_t max_sample);
+
+/// Collective over `comm`: build a mass-weighted k-d decomposition of the
+/// same domain and periodicity as `like`, with one block per rank, from
+/// the union of all ranks' particle samples. Every rank returns an
+/// identical tree (rank 0 builds, the split nodes are broadcast).
+[[nodiscard]] std::unique_ptr<Decomposition> collective_kd(
+    comm::Comm& comm, const Decomposition& like,
+    const std::vector<Particle>& mine, std::size_t max_sample_per_rank = 65536);
+
+}  // namespace tess::diy

@@ -35,6 +35,7 @@ void VoronoiCell::reset(const Vec3& site, const Vec3& box_min, const Vec3& box_m
   site_ = site;
   verts_.clear();
   gens_.clear();
+  cut_gens_.clear();
   // Corner i has bit0 -> x, bit1 -> y, bit2 -> z (0 = min side).
   verts_.reserve(8);
   for (int i = 0; i < 8; ++i) {
@@ -76,7 +77,7 @@ bool VoronoiCell::cut(const Vec3& neighbor, std::int64_t neighbor_id,
   const Vec3 n = neighbor - site_;
   // Bisector plane: n·x = n·midpoint; the site side satisfies n·x < d.
   const Vec3 mid = (neighbor + site_) * 0.5;
-  return clip({n, dot(n, mid), neighbor_id}, scratch);
+  return clip({n, dot(n, mid), neighbor_id, neighbor}, scratch);
 }
 
 bool VoronoiCell::cut(const Vec3& neighbor, std::int64_t neighbor_id) {
@@ -114,6 +115,13 @@ bool VoronoiCell::clip(const Plane& plane, ClipScratch& s) {
     max_radius2_ = 0.0;
     return true;
   }
+
+  // Generator position for this plane: the raw neighbor coordinates when
+  // known, else reconstructed (direct clip() callers). Logged per cut so
+  // canonicalize() can still resolve a creation-plane source after
+  // compact() drops the face itself.
+  const Vec3 cap_gen = std::isnan(plane.gen.x) ? site_ + plane.n : plane.gen;
+  if (plane.source >= 0) cut_gens_.emplace_back(plane.source, cap_gen);
 
   // New vertex on each cut edge, keyed by the undirected edge so the two
   // faces sharing the edge reuse one vertex (exact connectivity, no
@@ -184,6 +192,7 @@ bool VoronoiCell::clip(const Plane& plane, ClipScratch& s) {
       nf.source = f.source;
       nf.plane_n = f.plane_n;
       nf.plane_d = f.plane_d;
+      nf.gen = f.gen;
       nf.verts.assign(s.loop.begin(), s.loop.end());
     }
   }
@@ -196,6 +205,7 @@ bool VoronoiCell::clip(const Plane& plane, ClipScratch& s) {
     cap.source = plane.source;
     cap.plane_n = plane.n;
     cap.plane_d = plane.d;
+    cap.gen = cap_gen;
     int start = -1;
     for (std::size_t i = 0; i < s.cap_next.size(); ++i)
       if (s.cap_next[i] >= 0) {
@@ -254,6 +264,7 @@ bool VoronoiCell::clip(const Plane& plane, ClipScratch& s) {
         cap2.source = plane.source;
         cap2.plane_n = plane.n;
         cap2.plane_d = plane.d;
+        cap2.gen = cap_gen;
         cap2.verts.assign(s.cap_verts.begin(), s.cap_verts.end());
       }
     }
@@ -491,42 +502,109 @@ void VoronoiCell::canonicalize() {
     for (int v : faces_[fi].verts)
       incident[static_cast<std::size_t>(v)].push_back(static_cast<int>(fi));
 
-  // Recompute each vertex as the intersection of three incident planes,
-  // picked as the first well-conditioned triple in plane-key order. The
-  // solved coordinates depend only on the planes (i.e. on the raw site and
-  // neighbor positions), never on the clipping history, the seed box, or
-  // the candidate order. Vertices with a box-plane face (incomplete cells)
-  // or without a conditioned triple keep their clipped coordinates.
-  const double cond_eps = 1e-8;
+  // Recompute each vertex purely from the POSITIONS of its generating
+  // particles: the site plus each incident face's stored generator (the
+  // raw neighbor coordinates recorded at cut time — not reconstructed from
+  // the plane, whose subtraction rounds differently per sharing cell). The
+  // generators are sorted lexicographically, the smallest becomes the
+  // bisector base, and the vertex is solved from the BEST-conditioned
+  // triple of base bisector planes (largest |det| relative to the normal
+  // scale). A fixed conditioning threshold would send near-degenerate
+  // vertices — common in clustered particle sets at scale — back to their
+  // clipped coordinates, which depend on construction path; the best
+  // triple is a pure function of the generator multiset, so every cell
+  // incident to the vertex derives the identical doubles, independent of
+  // clipping history, candidate order, and block decomposition. That
+  // cross-cell bit-equality is what makes welded meshes (and the
+  // canonical global merge) byte-stable. Scanning triples against the
+  // single base gens[0] is complete: if every such triple is coplanar the
+  // whole generator set is coplanar and no triple of bisectors determines
+  // a point — only then (or for box-face vertices of incomplete cells)
+  // the clipped coordinates are kept.
+  util::SmallVector<Vec3, 12> gens;
   for (std::size_t v = 0; v < verts_.size(); ++v) {
     auto& inc = incident[v];
-    if (inc.size() < 3) continue;
-    std::sort(inc.begin(), inc.end(), [&](int a, int b) {
-      return plane_key_less(faces_[static_cast<std::size_t>(a)],
-                            faces_[static_cast<std::size_t>(b)]);
-    });
     bool on_box = false;
     for (int fi : inc)
       if (faces_[static_cast<std::size_t>(fi)].source < 0) on_box = true;
     if (on_box) continue;
-    const std::size_t m = inc.size();
-    bool solved = false;
-    for (std::size_t i = 0; i < m && !solved; ++i)
-      for (std::size_t j = i + 1; j < m && !solved; ++j)
-        for (std::size_t k = j + 1; k < m && !solved; ++k) {
-          const auto& fa = faces_[static_cast<std::size_t>(inc[i])];
-          const auto& fb = faces_[static_cast<std::size_t>(inc[j])];
-          const auto& fc = faces_[static_cast<std::size_t>(inc[k])];
-          const Vec3 bc = cross(fb.plane_n, fc.plane_n);
-          const double det = dot(fa.plane_n, bc);
-          const double scale =
-              norm(fa.plane_n) * norm(fb.plane_n) * norm(fc.plane_n);
-          if (std::fabs(det) <= cond_eps * scale) continue;
-          verts_[v] = (bc * fa.plane_d + cross(fc.plane_n, fa.plane_n) * fb.plane_d +
-                       cross(fa.plane_n, fb.plane_n) * fc.plane_d) /
-                      det;
-          solved = true;
+    gens.clear();
+    gens.push_back(site_);
+    for (int fi : inc)
+      gens.push_back(faces_[static_cast<std::size_t>(fi)].gen);
+    if (inc.size() < 3) {
+      // Degenerate sliver corner: the collinear cleanup dropped this vertex
+      // from one face's loop (or removed the face outright), so its
+      // incident faces alone under-determine it. Recover the missing
+      // generator(s) from the vertex's recorded creation-plane sources via
+      // the per-cell cut log, which keeps every bisector's raw generator
+      // position even after compact() drops the face. A creation plane
+      // that is a box plane means the vertex is not interior — keep its
+      // clipped coordinates.
+      bool recovered = true;
+      for (const std::int64_t src : gens_[v]) {
+        if (src == kNoGenerator) continue;
+        if (src < 0) {
+          recovered = false;
+          break;
         }
+        bool already = false;
+        for (int fi : inc)
+          if (faces_[static_cast<std::size_t>(fi)].source == src)
+            already = true;
+        if (already) continue;
+        const Vec3* extra = nullptr;
+        for (const auto& [s, g] : cut_gens_)
+          if (s == src) {
+            extra = &g;
+            break;
+          }
+        if (extra == nullptr) {
+          recovered = false;
+          break;
+        }
+        gens.push_back(*extra);
+      }
+      if (!recovered) continue;
+    }
+    std::sort(gens.begin(), gens.end(), vec3_lex_less);
+    const std::size_t m = gens.size();
+    if (m < 4) continue;
+    const Vec3& g0 = gens[0];
+    auto bisector = [&](const Vec3& g) {
+      const Vec3 n = g - g0;
+      return std::pair<Vec3, double>{n, dot(n, (g + g0) * 0.5)};
+    };
+    double best_rel = 0.0;
+    std::size_t bi = 0, bj = 0, bk = 0;
+    for (std::size_t i = 1; i < m; ++i)
+      for (std::size_t j = i + 1; j < m; ++j)
+        for (std::size_t k = j + 1; k < m; ++k) {
+          const Vec3 na = gens[i] - g0;
+          const Vec3 nb = gens[j] - g0;
+          const Vec3 nc = gens[k] - g0;
+          const double det = dot(na, cross(nb, nc));
+          const double scale = norm(na) * norm(nb) * norm(nc);
+          const double rel = scale > 0.0 ? std::fabs(det) / scale : 0.0;
+          if (rel > best_rel) {
+            best_rel = rel;
+            bi = i;
+            bj = j;
+            bk = k;
+          }
+        }
+    if (best_rel <= 0.0) continue;  // exactly coplanar: keep clipped
+    const auto [na, da] = bisector(gens[bi]);
+    const auto [nb, db] = bisector(gens[bj]);
+    const auto [nc, dc] = bisector(gens[bk]);
+    const Vec3 bc = cross(nb, nc);
+    const double det = dot(na, bc);
+    if (det == 0.0) continue;
+    const Vec3 solved =
+        (bc * da + cross(nc, na) * db + cross(na, nb) * dc) / det;
+    if (std::isfinite(solved.x) && std::isfinite(solved.y) &&
+        std::isfinite(solved.z))
+      verts_[v] = solved;
   }
 
   // Canonical face order and loop phase: sort faces by plane key, rotate

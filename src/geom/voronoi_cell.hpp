@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -34,11 +35,17 @@ namespace tess::geom {
 
 /// Oriented cutting plane n·x <= d (the kept side), tagged with the id of
 /// the neighbor particle (source >= 0) or seed-box plane (source in
-/// kBoxSourceMin..kBoxSourceMax) that produced it.
+/// kBoxSourceMin..kBoxSourceMax) that produced it. `gen` carries the raw
+/// coordinates of the generating neighbor; NaN when unknown (box planes,
+/// planes supplied directly to clip()), in which case canonicalize() falls
+/// back to reconstructing site + n.
 struct Plane {
   Vec3 n;
   double d = 0.0;
   std::int64_t source = 0;
+  Vec3 gen{std::numeric_limits<double>::quiet_NaN(),
+           std::numeric_limits<double>::quiet_NaN(),
+           std::numeric_limits<double>::quiet_NaN()};
 };
 
 struct ClipScratch;
@@ -65,6 +72,12 @@ class VoronoiCell {
     /// canonicalize() erase the construction path from the geometry.
     Vec3 plane_n{};
     double plane_d = 0.0;
+    /// Raw coordinates of the generating neighbor particle (bisector faces,
+    /// source >= 0). Exact as exchanged, not reconstructed — every cell
+    /// incident to a shared Voronoi vertex sees bit-identical generator
+    /// positions, which is what lets canonicalize() compute cross-cell
+    /// bit-identical vertex coordinates. Unset for box faces.
+    Vec3 gen{};
     /// CCW loop viewed from outside the cell.
     util::SmallVector<int, kInlineFaceVerts> verts;
   };
@@ -131,13 +144,16 @@ class VoronoiCell {
   void compact();
 
   /// Rewrite the cell into a canonical, construction-path-independent form
-  /// (compacts first): every vertex is recomputed as the exact intersection
-  /// of three of its incident face planes (chosen by a deterministic plane
-  /// key), faces are sorted by that key, each loop is rotated to start at
-  /// its lexicographically smallest vertex, and vertices are renumbered in
-  /// face order. Two builds of the same geometric cell — different candidate
-  /// orders, seed boxes, or point-array layouts — serialize identically
-  /// afterwards. Intended for complete cells, whose faces are all bisector
+  /// (compacts first): every vertex is recomputed from the positions of its
+  /// generating particles (site + incident plane normals, sorted
+  /// lexicographically) so ALL cells sharing a vertex produce bit-identical
+  /// coordinates, faces are sorted by a deterministic plane key, each loop
+  /// is rotated to start at its lexicographically smallest vertex, and
+  /// vertices are renumbered in face order. Two builds of the same
+  /// geometric cell — different candidate orders, seed boxes, point-array
+  /// layouts, or block decompositions — serialize identically afterwards,
+  /// and welding canonicalized cells into a mesh is insertion-order
+  /// independent. Intended for complete cells, whose faces are all bisector
   /// planes; vertices still touching a seed-box plane keep their clipped
   /// coordinates.
   void canonicalize();
@@ -151,6 +167,11 @@ class VoronoiCell {
   std::vector<Vec3> verts_;
   std::vector<std::array<std::int64_t, 3>> gens_;
   std::vector<Face> faces_;
+  /// Raw generator position of every bisector plane that cut the cell, in
+  /// cut order. Unlike faces_, entries survive compact() dropping a
+  /// degenerate face, so canonicalize() can recover a sliver vertex's full
+  /// generator set from its creation-plane sources.
+  std::vector<std::pair<std::int64_t, Vec3>> cut_gens_;
   double max_radius2_ = 0.0;
 };
 

@@ -55,6 +55,17 @@ const PhaseStats* ImbalanceReport::find(std::string_view name) const {
   return nullptr;
 }
 
+double imbalance_factor(const std::vector<double>& per_rank) {
+  if (per_rank.empty()) return 1.0;
+  double max = 0.0, sum = 0.0;
+  for (double v : per_rank) {
+    if (v > max) max = v;
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(per_rank.size());
+  return mean > 0.0 ? max / mean : 1.0;
+}
+
 ImbalanceReport analyze_imbalance(const TraceDump& dump) {
   ImbalanceReport report;
   report.lanes = dump.lanes.size();

@@ -78,6 +78,12 @@ struct ImbalanceReport {
   }
 };
 
+/// Max/mean imbalance factor of one value per rank (1 = perfectly
+/// balanced, 0 treated as balanced). The adaptive decomposition loop feeds
+/// per-rank tess.build_cells seconds through this to decide whether to
+/// repartition; it is the same max/mean convention as PhaseStats.
+[[nodiscard]] double imbalance_factor(const std::vector<double>& per_rank);
+
 /// Build the per-phase × per-rank report from a drained snapshot. Wait
 /// attribution reconstructs each lane's span tree from the exit-ordered
 /// records (children precede parents; depth disambiguates), so a

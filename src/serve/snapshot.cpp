@@ -249,7 +249,12 @@ PointLocation Snapshot::locate(const Vec3& p) const {
   if (nb == 0) return out;
 
   // Route to the owning block: three binary searches on the reconstructed
-  // block grid, or a bounds scan when the file is not a regular tiling.
+  // block grid when the file is a regular tiling. Files written from k-d
+  // (adaptive) decompositions are valid tilings but not tensor grids, so
+  // they route via the stored block extents instead: the block whose
+  // half-open bounds contain p is the owner by construction. Points
+  // outside every block (outside the domain, or a truncated file) fall
+  // back to the nearest box by distance.
   int owner = -1;
   if (grid_ok_) {
     const std::size_t ny = axis_lo_[1].size(), nz = axis_lo_[2].size();
@@ -263,8 +268,13 @@ PointLocation Snapshot::locate(const Vec3& p) const {
   } else {
     double best = std::numeric_limits<double>::infinity();
     for (int b = 0; b < nb; ++b) {
-      if (!valid_bounds(bounds_[static_cast<std::size_t>(b)])) continue;
-      const double d = bounds_[static_cast<std::size_t>(b)].distance(p);
+      const auto& bb = bounds_[static_cast<std::size_t>(b)];
+      if (!valid_bounds(bb)) continue;
+      if (bb.contains(p)) {
+        owner = b;
+        break;
+      }
+      const double d = bb.distance(p);
       if (d < best) {
         best = d;
         owner = b;

@@ -1,0 +1,409 @@
+// The repartition-invariance harness — the adaptive decomposition's
+// headline guarantee: the globally merged, canonicalized mesh is
+// byte-identical across a uniform grid, a static mass-weighted k-d
+// decomposition, and a mid-run repartition, under threads x periodicity x
+// incremental/from-scratch auto-ghost. Certified-and-complete cells are
+// exact and path-independent after canonicalization, so the decomposition
+// only decides *who* computes each cell, never *what* it is.
+//
+// Suite names carry Tessellator/Comm so the TSan CI regex picks them up.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "comm/comm.hpp"
+#include "core/standalone.hpp"
+#include "core/tessellator.hpp"
+#include "diy/decomposition.hpp"
+#include "diy/exchange.hpp"
+#include "diy/repartition.hpp"
+#include "obs/analyze.hpp"
+#include "util/rng.hpp"
+
+using tess::comm::Comm;
+using tess::comm::Runtime;
+using tess::core::BlockMesh;
+using tess::core::TessOptions;
+using tess::core::Tessellator;
+using tess::diy::Decomposition;
+using tess::diy::Particle;
+using tess::geom::Vec3;
+using tess::util::Rng;
+
+namespace {
+
+constexpr double kDomain = 6.0;
+
+/// Plummer-like blob + uniform background (half and half).
+std::vector<Particle> plummer_cloud(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Particle> ps;
+  const Vec3 center{0.3 * kDomain, 0.55 * kDomain, 0.45 * kDomain};
+  for (int i = 0; i < n; ++i) {
+    Vec3 p;
+    if (i % 2 == 0) {
+      p = {center.x + rng.normal(0.0, 0.06 * kDomain),
+           center.y + rng.normal(0.0, 0.06 * kDomain),
+           center.z + rng.normal(0.0, 0.06 * kDomain)};
+    } else {
+      p = {rng.uniform(0, kDomain), rng.uniform(0, kDomain),
+           rng.uniform(0, kDomain)};
+    }
+    for (std::size_t a = 0; a < 3; ++a)
+      p[a] = std::clamp(p[a], 0.0, kDomain * (1.0 - 1e-12));
+    ps.push_back({p, i});
+  }
+  return ps;
+}
+
+/// Filament: points jittered around a space diagonal + background.
+std::vector<Particle> filament_cloud(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Particle> ps;
+  for (int i = 0; i < n; ++i) {
+    Vec3 p;
+    if (i % 3 != 0) {
+      const double t = rng.uniform();
+      p = {t * kDomain + rng.normal(0.0, 0.03 * kDomain),
+           t * kDomain + rng.normal(0.0, 0.03 * kDomain),
+           (1.0 - t) * kDomain + rng.normal(0.0, 0.03 * kDomain)};
+    } else {
+      p = {rng.uniform(0, kDomain), rng.uniform(0, kDomain),
+           rng.uniform(0, kDomain)};
+    }
+    for (std::size_t a = 0; a < 3; ++a)
+      p[a] = std::clamp(p[a], 0.0, kDomain * (1.0 - 1e-12));
+    ps.push_back({p, i});
+  }
+  return ps;
+}
+
+std::vector<Particle> make_cloud(int kind, int n) {
+  return kind == 0 ? plummer_cloud(n, 2024) : filament_cloud(n, 4048);
+}
+
+TessOptions auto_options(int threads, bool incremental) {
+  TessOptions opt;
+  opt.ghost = 0.5;
+  opt.auto_ghost = true;
+  opt.incremental = incremental;
+  opt.threads = threads;
+  return opt;
+}
+
+struct RunResult {
+  std::vector<std::byte> merged;   // canonical merged bytes (rank 0)
+  std::size_t total_cells = 0;     // sum of per-rank kept cells (rank 0)
+};
+
+/// Tessellate on an explicit decomposition and return the canonical merge.
+RunResult run_static(int nranks, bool periodic, bool kd, int threads,
+                     bool incremental, const std::vector<Particle>& cloud) {
+  RunResult out;
+  Runtime::run(nranks, [&](Comm& c) {
+    std::vector<Vec3> pts;
+    if (kd)
+      for (const auto& p : cloud) pts.push_back(p.pos);
+    const Decomposition grid({0, 0, 0}, {kDomain, kDomain, kDomain},
+                             Decomposition::factor(nranks), periodic);
+    const auto tree = kd ? Decomposition::kd({0, 0, 0},
+                                             {kDomain, kDomain, kDomain},
+                                             periodic, nranks, pts)
+                         : Decomposition::kd({0, 0, 0}, {1, 1, 1}, false, 1,
+                                             {});
+    const Decomposition& d = kd ? tree : grid;
+    const auto mesh = tess::core::standalone_tessellate(
+        c, d, c.rank() == 0 ? cloud : std::vector<Particle>{},
+        auto_options(threads, incremental));
+    const auto cells =
+        c.reduce_sum<std::uint64_t>(static_cast<std::uint64_t>(mesh.num_cells()));
+    auto merged = tess::core::merged_mesh_bytes(c, mesh);
+    if (c.rank() == 0) {
+      out.merged = std::move(merged);
+      out.total_cells = cells;
+    }
+  });
+  return out;
+}
+
+/// Adaptive two-step run: step 1 on the uniform grid schedules a
+/// repartition (trigger 0 fires on any imbalance measurement), step 2
+/// rebuilds the k-d tree mid-run and migrates. Returns step 2's merge.
+RunResult run_midrun_repartition(int nranks, bool periodic, int threads,
+                                 bool incremental,
+                                 const std::vector<Particle>& cloud,
+                                 int* repartitions = nullptr) {
+  RunResult out;
+  Runtime::run(nranks, [&](Comm& c) {
+    const Decomposition grid({0, 0, 0}, {kDomain, kDomain, kDomain},
+                             Decomposition::factor(nranks), periodic);
+    auto opt = auto_options(threads, incremental);
+    opt.adaptive = true;
+    opt.repart_trigger = 0.0;
+    opt.repart_cooldown = 1;
+    Tessellator t(c, grid, opt);
+    const auto mine = tess::diy::migrate_items(
+        c, grid, c.rank() == 0 ? cloud : std::vector<Particle>{},
+        [](Particle& p) -> Vec3& { return p.pos; });
+    (void)t.tessellate_step(1, mine);
+    const auto mesh = t.tessellate_step(2, mine);
+    const auto cells =
+        c.reduce_sum<std::uint64_t>(static_cast<std::uint64_t>(mesh.num_cells()));
+    auto merged = tess::core::merged_mesh_bytes(c, mesh);
+    if (c.rank() == 0) {
+      out.merged = std::move(merged);
+      out.total_cells = cells;
+      if (repartitions) *repartitions = t.repartitions();
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The invariance sweep: (cloud, ranks, threads, periodic, incremental).
+// ---------------------------------------------------------------------------
+
+class AdaptiveTessellatorSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool, bool>> {
+};
+
+TEST_P(AdaptiveTessellatorSweep, MergedMeshInvariantAcrossDecompositions) {
+  const auto [cloud_kind, nranks, threads, periodic, incremental] = GetParam();
+  const auto cloud = make_cloud(cloud_kind, 600);
+
+  const auto uniform =
+      run_static(nranks, periodic, false, threads, incremental, cloud);
+  const auto kd =
+      run_static(nranks, periodic, true, threads, incremental, cloud);
+  int reparts = 0;
+  const auto midrun = run_midrun_repartition(nranks, periodic, threads,
+                                             incremental, cloud, &reparts);
+
+  ASSERT_FALSE(uniform.merged.empty());
+  EXPECT_EQ(reparts, 1) << "mid-run repartition did not happen";
+  // Cell-count conservation: every decomposition keeps the same cell set.
+  EXPECT_EQ(uniform.total_cells, kd.total_cells);
+  EXPECT_EQ(uniform.total_cells, midrun.total_cells);
+  // The headline guarantee: byte identity of the canonical global merge.
+  EXPECT_EQ(uniform.merged, kd.merged)
+      << "static k-d diverged from uniform grid";
+  EXPECT_EQ(uniform.merged, midrun.merged)
+      << "mid-run repartition diverged from uniform grid";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, AdaptiveTessellatorSweep,
+    ::testing::Combine(::testing::Values(0, 1),      // plummer, filament
+                       ::testing::Values(2, 4),      // ranks
+                       ::testing::Values(1, 4),      // threads per rank
+                       ::testing::Bool(),            // periodic
+                       ::testing::Bool()));          // incremental
+
+// ---------------------------------------------------------------------------
+// Closed-loop behavior: hysteresis, cooldown, balance improvement.
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveTessellator, HighTriggerNeverRepartitions) {
+  const auto cloud = make_cloud(0, 400);
+  Runtime::run(2, [&](Comm& c) {
+    const Decomposition grid({0, 0, 0}, {kDomain, kDomain, kDomain},
+                             Decomposition::factor(2), true);
+    auto opt = auto_options(1, true);
+    opt.adaptive = true;
+    opt.repart_trigger = 1e9;  // unreachable: loop must stay on the grid
+    Tessellator t(c, grid, opt);
+    const auto mine = tess::diy::migrate_items(
+        c, grid, c.rank() == 0 ? cloud : std::vector<Particle>{},
+        [](Particle& p) -> Vec3& { return p.pos; });
+    for (int step = 1; step <= 3; ++step) (void)t.tessellate_step(step, mine);
+    EXPECT_EQ(t.repartitions(), 0);
+    EXPECT_EQ(&t.active_decomposition(), &grid);
+    EXPECT_GE(t.last_imbalance(), 1.0);
+  });
+}
+
+TEST(AdaptiveTessellator, CooldownBoundsRepartitionRate) {
+  const auto cloud = make_cloud(0, 400);
+  Runtime::run(2, [&](Comm& c) {
+    const Decomposition grid({0, 0, 0}, {kDomain, kDomain, kDomain},
+                             Decomposition::factor(2), true);
+    auto opt = auto_options(1, true);
+    opt.adaptive = true;
+    opt.repart_trigger = 0.0;  // fire whenever the cooldown allows
+    opt.repart_cooldown = 2;
+    Tessellator t(c, grid, opt);
+    const auto mine = tess::diy::migrate_items(
+        c, grid, c.rank() == 0 ? cloud : std::vector<Particle>{},
+        [](Particle& p) -> Vec3& { return p.pos; });
+    for (int step = 1; step <= 5; ++step) (void)t.tessellate_step(step, mine);
+    // Scheduled after step 1, applied at 2; next allowed at 4: two total.
+    EXPECT_EQ(t.repartitions(), 2);
+    EXPECT_NE(&t.active_decomposition(), &grid);
+  });
+}
+
+TEST(AdaptiveTessellator, RepartitionEvensOutParticleCounts) {
+  // Deterministic proxy for the work imbalance: per-rank particle counts.
+  const auto cloud = make_cloud(0, 4000);
+  Runtime::run(4, [&](Comm& c) {
+    const Decomposition grid({0, 0, 0}, {kDomain, kDomain, kDomain},
+                             Decomposition::factor(4), true);
+    auto opt = auto_options(1, true);
+    opt.adaptive = true;
+    opt.repart_trigger = 0.0;
+    Tessellator t(c, grid, opt);
+    auto mine = tess::diy::migrate_items(
+        c, grid, c.rank() == 0 ? cloud : std::vector<Particle>{},
+        [](Particle& p) -> Vec3& { return p.pos; });
+    const auto before = tess::obs::imbalance_factor(
+        c.allgather(static_cast<double>(mine.size())));
+    (void)t.tessellate_step(1, mine);
+    (void)t.tessellate_step(2, mine);
+    ASSERT_EQ(t.repartitions(), 1);
+    const auto after_counts = c.allgather(
+        static_cast<double>(t.stats().local_particles));
+    const auto after = tess::obs::imbalance_factor(after_counts);
+    if (c.rank() == 0) {
+      // >= 30% of the uniform grid's excess over perfect balance removed.
+      EXPECT_GT(before, 1.2) << "cloud not clustered enough to test";
+      EXPECT_LT(after - 1.0, 0.7 * (before - 1.0))
+          << "before=" << before << " after=" << after;
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// k-d exchange and migration against brute-force references.
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveExchangeComm, KdGhostExchangeMatchesBruteForce) {
+  const auto cloud = make_cloud(1, 500);
+  std::vector<Vec3> pts;
+  for (const auto& p : cloud) pts.push_back(p.pos);
+  for (const bool periodic : {false, true}) {
+    const double ghost = 0.8;
+    constexpr int kRanks = 4;
+    std::vector<std::vector<Particle>> got(kRanks);
+    std::vector<std::vector<Particle>> owned(kRanks);
+    Runtime::run(kRanks, [&](Comm& c) {
+      const auto d = Decomposition::kd({0, 0, 0}, {kDomain, kDomain, kDomain},
+                                       periodic, kRanks, pts);
+      auto mine = tess::diy::migrate_items(
+          c, d, c.rank() == 0 ? cloud : std::vector<Particle>{},
+          [](Particle& p) -> Vec3& { return p.pos; });
+      tess::diy::Exchanger ex(c, d);
+      got[static_cast<std::size_t>(c.rank())] = ex.exchange_ghost(mine, ghost);
+      owned[static_cast<std::size_t>(c.rank())] = std::move(mine);
+    });
+    // Brute-force reference: every particle image (all 27 shifts when
+    // periodic) of a *foreign* owner within `ghost` of my block.
+    const auto d = Decomposition::kd({0, 0, 0}, {kDomain, kDomain, kDomain},
+                                     periodic, kRanks, pts);
+    auto key = [](const Particle& p) {
+      return std::make_tuple(p.id, p.pos.x, p.pos.y, p.pos.z);
+    };
+    for (int r = 0; r < kRanks; ++r) {
+      const auto bb = d.block_bounds(r);
+      std::vector<Particle> want;
+      const int span = periodic ? 1 : 0;
+      for (int o = 0; o < kRanks; ++o) {
+        for (const auto& p : owned[static_cast<std::size_t>(o)]) {
+          for (int sx = -span; sx <= span; ++sx)
+            for (int sy = -span; sy <= span; ++sy)
+              for (int sz = -span; sz <= span; ++sz) {
+                if (o == r && sx == 0 && sy == 0 && sz == 0) continue;
+                const Vec3 img = p.pos + Vec3{sx * kDomain, sy * kDomain,
+                                              sz * kDomain};
+                if (bb.distance(img) <= ghost) want.push_back({img, p.id});
+              }
+        }
+      }
+      auto have = got[static_cast<std::size_t>(r)];
+      auto cmp = [&](const Particle& a, const Particle& b) {
+        return key(a) < key(b);
+      };
+      std::sort(want.begin(), want.end(), cmp);
+      std::sort(have.begin(), have.end(), cmp);
+      ASSERT_EQ(have.size(), want.size())
+          << "rank " << r << " periodic " << periodic;
+      for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(key(have[i]), key(want[i])) << "rank " << r;
+    }
+  }
+}
+
+TEST(AdaptiveExchangeComm, KdMigrationConservesAndRoutesParticles) {
+  const auto cloud = make_cloud(0, 1200);
+  std::vector<Vec3> pts;
+  for (const auto& p : cloud) pts.push_back(p.pos);
+  constexpr int kRanks = 4;
+  std::atomic<std::uint64_t> total{0};
+  Runtime::run(kRanks, [&](Comm& c) {
+    const auto grid = Decomposition({0, 0, 0}, {kDomain, kDomain, kDomain},
+                                    Decomposition::factor(kRanks), true);
+    const auto tree = Decomposition::kd({0, 0, 0}, {kDomain, kDomain, kDomain},
+                                        true, kRanks, pts);
+    auto mine = tess::diy::migrate_items(
+        c, grid, c.rank() == 0 ? cloud : std::vector<Particle>{},
+        [](Particle& p) -> Vec3& { return p.pos; });
+    mine = tess::diy::migrate_items(
+        c, tree, std::move(mine),
+        [](Particle& p) -> Vec3& { return p.pos; });
+    const auto bb = tree.block_bounds(c.rank());
+    for (const auto& p : mine) EXPECT_TRUE(bb.contains(p.pos));
+    total.fetch_add(mine.size());
+  });
+  EXPECT_EQ(total.load(), cloud.size());
+}
+
+// ---------------------------------------------------------------------------
+// Cache-of-neighbors race: rank threads share one Decomposition, and the
+// lazy neighbors_within cache must be safe under concurrent first access
+// (mirrors the Serve* cache-vs-reader races from the query service).
+// ---------------------------------------------------------------------------
+
+TEST(NeighborCacheComm, ConcurrentNeighborDiscoveryIsRaceFree) {
+  const auto cloud = make_cloud(0, 1000);
+  std::vector<Vec3> pts;
+  for (const auto& p : cloud) pts.push_back(p.pos);
+  const auto d = Decomposition::kd({0, 0, 0}, {kDomain, kDomain, kDomain},
+                                   true, 8, pts);
+  const std::vector<double> reaches{0.25, 0.5, 1.0, 2.0};
+
+  // Single-threaded reference, computed on a fresh identical tree so the
+  // shared instance's cache starts cold for the concurrent pass.
+  const Decomposition ref({0, 0, 0}, {kDomain, kDomain, kDomain}, true, 8,
+                          d.splits());
+  std::vector<std::vector<tess::diy::Neighbor>> want;
+  for (int b = 0; b < 8; ++b)
+    for (double r : reaches) want.push_back(ref.neighbors_within(b, r));
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int tid = 0; tid < 8; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int iter = 0; iter < 20; ++iter) {
+        for (int b = 0; b < 8; ++b) {
+          for (std::size_t ri = 0; ri < reaches.size(); ++ri) {
+            // Stagger access order per thread to collide on cold entries.
+            const int bb = (b + tid) % 8;
+            const auto got = d.neighbors_within(bb, reaches[ri]);
+            if (got != want[static_cast<std::size_t>(bb) * reaches.size() +
+                            ri])
+              mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}

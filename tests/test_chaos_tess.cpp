@@ -90,6 +90,41 @@ std::vector<std::vector<std::byte>> run_auto(int nranks, bool periodic,
   return bytes;
 }
 
+/// Adaptive two-step run: step 1 on the uniform grid always schedules a
+/// repartition (trigger 0), step 2 rebuilds a k-d decomposition
+/// collectively and migrates particles mid-run — so the repartition
+/// collectives (sample gatherv, split broadcast) and the tag-103 particle
+/// migration all execute under whatever fault plan is armed. Returns the
+/// canonical merged mesh bytes (rank 0).
+std::vector<std::byte> run_adaptive_midrun(int nranks, bool periodic,
+                                           int nparticles) {
+  const double domain = 6.0;
+  std::vector<std::byte> merged;
+  Runtime::run(nranks, [&](Comm& c) {
+    Decomposition d({0, 0, 0}, {domain, domain, domain},
+                    Decomposition::factor(nranks), periodic);
+    TessOptions opt;
+    opt.ghost = 0.3;
+    opt.auto_ghost = true;
+    opt.incremental = true;
+    opt.threads = 1;
+    opt.adaptive = true;
+    opt.repart_trigger = 0.0;
+    opt.repart_cooldown = 1;
+    tess::core::Tessellator t(c, d, opt);
+    const auto mine = tess::diy::migrate_items(
+        c, d,
+        c.rank() == 0 ? chaos_particles(nparticles, domain)
+                      : std::vector<Particle>{},
+        [](Particle& p) -> Vec3& { return p.pos; });
+    (void)t.tessellate_step(1, mine);
+    const auto mesh = t.tessellate_step(2, mine);
+    auto m = tess::core::merged_mesh_bytes(c, mesh);
+    if (c.rank() == 0) merged = std::move(m);
+  });
+  return merged;
+}
+
 class ChaosFixture : public ::testing::Test {
  protected:
   void TearDown() override { faults().disarm(); }
@@ -137,6 +172,39 @@ TEST_P(ChaosSweep, RandomFaultPlansYieldByteIdenticalMeshes) {
     }
   }
   // The sweep must actually have exercised the injector.
+  EXPECT_GT(total_injected, 0u);
+}
+
+// A mid-run repartition under the same random plans: FaultPlan::random
+// rules match any tag, so the drop/delay/dup schedules also hit the
+// repartition's sample gatherv, the split-tree broadcast, and the tag-103
+// particle migration. The mesh must still equal the fault-free one.
+TEST_P(ChaosSweep, MidRunRepartitionSurvivesFaults) {
+  const auto [periodic, nranks] = GetParam();
+  constexpr int kParticles = 500;
+  constexpr int kSeeds = 2;  // smaller than the main sweep: 2 runs per seed
+  const std::uint64_t base = FaultInjector::env_seed(12345);
+
+  faults().disarm();
+  const auto reference = run_adaptive_midrun(nranks, periodic, kParticles);
+  ASSERT_FALSE(reference.empty());
+
+  std::uint64_t total_injected = 0;
+  for (int k = 0; k < kSeeds; ++k) {
+    const std::uint64_t seed = base + 100 + static_cast<std::uint64_t>(k);
+    faults().arm(FaultPlan::random(seed));
+    const auto chaotic = run_adaptive_midrun(nranks, periodic, kParticles);
+    const auto counts = faults().counts();
+    faults().disarm();
+    total_injected += counts.dropped + counts.delayed + counts.duplicated;
+    EXPECT_EQ(counts.recovered, counts.dropped)
+        << "unrecovered drops, seed=" << seed;
+    EXPECT_EQ(counts.lost, 0u) << "seed=" << seed;
+    EXPECT_EQ(chaotic, reference)
+        << "repartitioned mesh diverged under faults: seed=" << seed
+        << " periodic=" << periodic << " nranks=" << nranks
+        << " (replay: TESS_FAULT_SEED=" << base << ")";
+  }
   EXPECT_GT(total_injected, 0u);
 }
 

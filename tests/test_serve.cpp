@@ -95,6 +95,52 @@ std::string periodic_file() {
   return write_snapshot_file("periodic", 8, {2, 2, 2}, 8, true);
 }
 
+// Blocked file from a mass-weighted k-d decomposition of a clustered cloud
+// — a tiling but NOT a tensor grid, so Snapshot's grid reconstruction must
+// reject it and locate must route via the stored block extents.
+std::string kd_file() {
+  const auto path = ::testing::TempDir() + "tess_serve_kd_" +
+                    std::to_string(::getpid()) + ".bin";
+  static std::mutex mu;
+  static bool built = false;
+  std::lock_guard<std::mutex> lock(mu);
+  if (built) return path;
+  constexpr int kRanks = 4;
+  const double L = 8.0;
+  // Clustered: half the points in a tight blob, half background, so the
+  // k-d leaves have genuinely different sizes.
+  std::mt19937 rng(555);
+  std::normal_distribution<double> blob(0.0, 0.06 * L);
+  std::uniform_real_distribution<double> uni(0.0, L * (1.0 - 1e-12));
+  std::vector<Particle> cloud;
+  for (int i = 0; i < 600; ++i) {
+    Vec3 p;
+    if (i % 2 == 0)
+      p = {std::clamp(0.3 * L + blob(rng), 0.0, L * (1.0 - 1e-12)),
+           std::clamp(0.6 * L + blob(rng), 0.0, L * (1.0 - 1e-12)),
+           std::clamp(0.4 * L + blob(rng), 0.0, L * (1.0 - 1e-12))};
+    else
+      p = {uni(rng), uni(rng), uni(rng)};
+    cloud.push_back({p, i});
+  }
+  Runtime::run(kRanks, [&](Comm& c) {
+    std::vector<Vec3> pts;
+    for (const auto& p : cloud) pts.push_back(p.pos);
+    const auto d =
+        Decomposition::kd({0, 0, 0}, {L, L, L}, false, kRanks, pts);
+    TessOptions opt;
+    opt.ghost = 1.0;
+    opt.auto_ghost = true;
+    auto mesh = tess::core::standalone_tessellate(
+        c, d, c.rank() == 0 ? cloud : std::vector<Particle>{}, opt);
+    tess::diy::Buffer buf;
+    mesh.serialize(buf);
+    tess::diy::write_blocks(c, path, buf);
+  });
+  built = true;
+  return path;
+}
+
 // Nearest kept site over every block of the file — the ground truth locate
 // must reproduce. Same embedded (unwrapped) metric locate uses.
 struct BruteSite {
@@ -178,6 +224,38 @@ TEST(ServeSnapshot, LocateMatchesBruteForceAcrossBlocks) {
                                         << ", " << p.z << ")";
     EXPECT_NEAR(loc.site_dist2, ref.d2, 1e-12);
   }
+}
+
+// Regression: locate on snapshots whose blocks come from a k-d (non-grid)
+// decomposition. The old router assumed any blocked file could be
+// reconstructed as a uniform tensor grid; k-d leaves fail that check and
+// must fall back to containment routing over the stored block extents.
+TEST(ServeSnapshot, LocateMatchesBruteForceOnKdFile) {
+  Snapshot snap(kd_file());
+  EXPECT_EQ(snap.num_blocks(), 4);
+  const auto blocks = tess::analysis::TessReader(kd_file()).read_all();
+  for (const auto& p : random_points(200, 0.0, 8.0, 31u)) {
+    const auto loc = snap.locate(p);
+    const auto ref = brute_nearest(blocks, p);
+    ASSERT_TRUE(loc.found());
+    EXPECT_EQ(loc.site_id, ref.site_id) << "point (" << p.x << ", " << p.y
+                                        << ", " << p.z << ")";
+    EXPECT_NEAR(loc.site_dist2, ref.d2, 1e-12);
+  }
+  // The k-d leaves are a tiling with unequal extents — assert the file
+  // really is non-grid so this test keeps exercising the fallback router.
+  double vol0 = -1.0;
+  bool uniform = true;
+  for (int b = 0; b < snap.num_blocks(); ++b) {
+    const auto& bb = snap.block_bounds(b);
+    const double vol = (bb.max.x - bb.min.x) * (bb.max.y - bb.min.y) *
+                       (bb.max.z - bb.min.z);
+    if (vol0 < 0.0)
+      vol0 = vol;
+    else if (std::abs(vol - vol0) > 1e-9 * vol0)
+      uniform = false;
+  }
+  EXPECT_FALSE(uniform) << "kd file degenerated into a uniform grid";
 }
 
 TEST(ServeSnapshot, LocatePeriodicInterior) {
